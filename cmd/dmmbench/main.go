@@ -1,0 +1,103 @@
+// Command dmmbench regenerates the tables and figures of the paper's
+// evaluation (Sec. 5): the maximum-memory-footprint comparison (Table 1),
+// the DRR footprint-over-time curves (Figure 5), the execution-time
+// overhead claim, the decision-order ablation (Figure 4) and the
+// static-vs-dynamic sizing motivation.
+//
+// Usage:
+//
+//	dmmbench -exp table1            # Table 1 (default 10 seeds, as the paper)
+//	dmmbench -exp figure5 -csv out.csv
+//	dmmbench -exp perf
+//	dmmbench -exp order
+//	dmmbench -exp static
+//	dmmbench -exp all -seeds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmmkit/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, fits, all")
+		seeds = flag.Int("seeds", 10, "traces per case study (the paper averages 10)")
+		quick = flag.Bool("quick", false, "smaller workloads (for smoke runs)")
+		csv   = flag.String("csv", "", "write Figure 5 series to this CSV file")
+		seed  = flag.Int64("seed", 1, "seed for single-trace experiments (figure5)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seeds: *seeds, Quick: *quick}
+
+	run := func(name string, fn func() error) {
+		if *exp != name && *exp != "all" {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		t1, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable1(os.Stdout, t1)
+	})
+	run("figure5", func() error {
+		f5, err := experiments.RunFigure5(*seed, *quick)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DRR footprint over time (%s, %d events):\n\n", f5.TraceName, f5.Events)
+		fmt.Println(f5.Chart(86, 18))
+		if *csv != "" {
+			f, err := os.Create(*csv)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := f5.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Printf("series written to %s\n", *csv)
+		}
+		return nil
+	})
+	run("perf", func() error {
+		prs, err := experiments.RunPerf(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WritePerf(os.Stdout, prs)
+	})
+	run("order", func() error {
+		or, err := experiments.RunOrderAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteOrder(os.Stdout, or)
+	})
+	run("static", func() error {
+		st, err := experiments.RunStaticVsDynamic(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteStatic(os.Stdout, st)
+	})
+	run("fits", func() error {
+		frs, err := experiments.RunFitAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFits(os.Stdout, frs)
+	})
+}

@@ -1,0 +1,112 @@
+// Command dmmexplore explores the DM-management design space against a
+// trace: it evaluates a uniform sample of the ~144k valid decision
+// vectors plus the methodology's design, prints the footprint/work Pareto
+// front, and shows where the methodology's one-walk design lands relative
+// to exhaustive search.
+//
+// Usage:
+//
+//	dmmexplore -workload drr -candidates 96
+//	dmmexplore drr1.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dmmkit"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "", "generate and explore: drr, recon3d or render3d")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		candidates = flag.Int("candidates", 96, "enumerated vectors to evaluate")
+		quick      = flag.Bool("quick", true, "use a reduced workload (exploration replays every candidate)")
+	)
+	flag.Parse()
+
+	var tr *dmmkit.Trace
+	switch {
+	case *workload != "":
+		switch *workload {
+		case "drr":
+			cfg := dmmkit.DRRConfig{Seed: *seed}
+			if *quick {
+				cfg.Net.Phases = 3
+				cfg.Net.PhaseMs = 200
+			}
+			tr = dmmkit.DRRTrace(cfg)
+		case "recon3d":
+			cfg := dmmkit.Recon3DConfig{Seed: *seed}
+			if *quick {
+				cfg.Pairs = 1
+			}
+			tr = dmmkit.Recon3DTrace(cfg)
+		case "render3d":
+			cfg := dmmkit.Render3DConfig{Seed: *seed}
+			if *quick {
+				cfg.Detail = 300
+				cfg.Frames = 24
+			}
+			tr = dmmkit.Render3DTrace(cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "dmmexplore: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	case flag.NArg() == 1:
+		var err error
+		tr, err = dmmkit.LoadTrace(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dmmexplore [-workload NAME | trace-file]")
+		os.Exit(2)
+	}
+
+	fmt.Printf("exploring %d candidates against %q (%d events, live peak %d B)...\n\n",
+		*candidates, tr.Name, len(tr.Events), tr.MaxLiveBytes())
+	cands, err := dmmkit.Explore(tr, dmmkit.ExploreOpts{MaxCandidates: *candidates, IncludeDesigned: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+		os.Exit(1)
+	}
+	failed := 0
+	var designed *dmmkit.Candidate
+	for i := range cands {
+		if cands[i].Err != nil {
+			failed++
+		}
+		if cands[i].Designed {
+			designed = &cands[i]
+		}
+	}
+	front := dmmkit.ParetoFront(cands)
+	fmt.Printf("evaluated %d candidates (%d failed); Pareto front (footprint vs work):\n\n", len(cands), failed)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "footprint (B)\twork units\tdesigned?\tvector")
+	for _, c := range front {
+		mark := ""
+		if c.Designed {
+			mark = "<== methodology"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\n", c.MaxFootprint, c.Work, mark, c.Vector)
+	}
+	tw.Flush()
+
+	if designed != nil && designed.Err == nil {
+		rank := 1
+		for _, c := range cands {
+			if c.Err == nil && !c.Designed && c.MaxFootprint < designed.MaxFootprint {
+				rank++
+			}
+		}
+		fmt.Printf("\nmethodology design: footprint %d B, work %d — rank %d/%d by footprint\n",
+			designed.MaxFootprint, designed.Work, rank, len(cands)-failed)
+		fmt.Printf("decision vector: %s\n", designed.Vector)
+	}
+}

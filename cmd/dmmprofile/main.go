@@ -1,0 +1,106 @@
+// Command dmmprofile analyzes the dynamic-memory behaviour of a trace:
+// size populations, lifetimes, phases, LIFO-ness — the inputs of the
+// paper's methodology ("we first profile its DM behaviour", Sec. 5). It
+// also prints the decision walk the methodology takes for the profile.
+//
+// Usage:
+//
+//	dmmprofile drr1.trace
+//	dmmprofile -workload render3d -seed 2    # profile a generated trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dmmkit"
+	"dmmkit/internal/textplot"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "generate and profile: drr, recon3d or render3d")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		walk     = flag.Bool("walk", true, "print the methodology's decision walk")
+	)
+	flag.Parse()
+
+	var tr *dmmkit.Trace
+	switch {
+	case *workload != "":
+		switch *workload {
+		case "drr":
+			tr = dmmkit.DRRTrace(dmmkit.DRRConfig{Seed: *seed})
+		case "recon3d":
+			tr = dmmkit.Recon3DTrace(dmmkit.Recon3DConfig{Seed: *seed})
+		case "render3d":
+			tr = dmmkit.Render3DTrace(dmmkit.Render3DConfig{Seed: *seed})
+		default:
+			fmt.Fprintf(os.Stderr, "dmmprofile: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	case flag.NArg() == 1:
+		var err error
+		tr, err = dmmkit.LoadTrace(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmprofile: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dmmprofile [-workload NAME | trace-file]")
+		os.Exit(2)
+	}
+
+	p := dmmkit.Profile(tr)
+	fmt.Printf("trace %q: %d events, %d allocs, %d frees\n", p.Name, p.Events, p.Allocs, p.Frees)
+	fmt.Printf("sizes: %d distinct in [%d, %d], mean %.1f, CV %.2f\n",
+		p.DistinctSizes, p.MinSize, p.MaxSize, p.MeanSize, p.SizeCV)
+	fmt.Printf("live peak: %d bytes in %d blocks; total allocated %d bytes\n",
+		p.MaxLiveBytes, p.MaxLiveBlocks, p.TotalBytes)
+	fmt.Printf("lifetimes: mean %.1f events, p95 %d; never freed: %d\n",
+		p.MeanLifetime, p.P95Lifetime, p.NeverFreed)
+	fmt.Printf("LIFO score: %.2f; cross-phase frees: %d\n\n", p.LIFOScore, p.CrossPhaseFrees)
+
+	fmt.Println("top request sizes by peak live bytes:")
+	var rows []textplot.BarRow
+	top := p.Sizes
+	if len(top) > 12 {
+		// Keep the 12 sizes with the largest live peaks.
+		sorted := append([]dmmkit.SizeStats(nil), top...)
+		for i := 0; i < len(sorted); i++ {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j].MaxLive > sorted[i].MaxLive {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		top = sorted[:12]
+	}
+	for _, s := range top {
+		rows = append(rows, textplot.BarRow{
+			Label: fmt.Sprintf("%6d B x%d", s.Size, s.Count),
+			Value: float64(s.MaxLive),
+		})
+	}
+	fmt.Print(textplot.Bar(rows, 40))
+
+	if len(p.Phases) > 1 {
+		fmt.Println("\nphases:")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "phase\tevents\tallocs\tsizes\trange\tCV\tlive peak\tLIFO")
+		for _, ph := range p.Phases {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t[%d,%d]\t%.2f\t%d\t%.2f\n",
+				ph.Phase, ph.Events, ph.Allocs, ph.DistinctSizes, ph.MinSize, ph.MaxSize,
+				ph.SizeCV, ph.MaxLiveBytes, ph.LIFOScore)
+		}
+		tw.Flush()
+	}
+
+	if *walk {
+		d := dmmkit.Design(p)
+		fmt.Printf("\nmethodology decision walk (order %s):\n\n", "A2->A5->E2->D2->E1->D1->B4->B1->...->C1->...->A1->A3->A4")
+		fmt.Print(d.String())
+	}
+}

@@ -1,0 +1,65 @@
+// Command dmmtrace generates the case-study allocation traces to files in
+// the binary or JSON trace format, for use with dmmprofile and dmmexplore.
+//
+// Usage:
+//
+//	dmmtrace -workload drr -seed 3 -o drr3.trace
+//	dmmtrace -workload recon3d -format json -o recon.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmmkit"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "drr", "drr, recon3d or render3d")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		format   = flag.String("format", "binary", "binary or json")
+		out      = flag.String("o", "", "output file (default <workload><seed>.trace)")
+	)
+	flag.Parse()
+
+	var tr *dmmkit.Trace
+	switch *workload {
+	case "drr":
+		tr = dmmkit.DRRTrace(dmmkit.DRRConfig{Seed: *seed})
+	case "recon3d":
+		tr = dmmkit.Recon3DTrace(dmmkit.Recon3DConfig{Seed: *seed})
+	case "render3d":
+		tr = dmmkit.Render3DTrace(dmmkit.Render3DConfig{Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "dmmtrace: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s%d.trace", *workload, *seed)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmtrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = tr.EncodeBinary(f)
+	case "json":
+		err = tr.EncodeJSON(f)
+	default:
+		fmt.Fprintf(os.Stderr, "dmmtrace: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmtrace: encoding: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d events, peak live %d bytes -> %s\n",
+		tr.Name, len(tr.Events), tr.MaxLiveBytes(), path)
+}

@@ -1,0 +1,147 @@
+package dmmkit_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmmkit"
+)
+
+func TestPublicAPIPipeline(t *testing.T) {
+	// Build a small trace through the public builder.
+	b := dmmkit.NewTraceBuilder("api")
+	var ids []int64
+	for i := 0; i < 200; i++ {
+		ids = append(ids, b.Alloc(int64(64+i%5*100), 0))
+		if len(ids) > 16 {
+			b.Free(ids[0])
+			ids = ids[1:]
+		}
+	}
+	for _, id := range ids {
+		b.Free(id)
+	}
+	tr := b.Build()
+
+	prof := dmmkit.Profile(tr)
+	if prof.Allocs != 200 {
+		t.Fatalf("Allocs = %d, want 200", prof.Allocs)
+	}
+	design := dmmkit.Design(prof)
+	if err := dmmkit.ValidateVector(design.Vector); err != nil {
+		t.Fatalf("designed vector invalid: %v", err)
+	}
+	mgr, err := design.Build(dmmkit.NewHeap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dmmkit.Replay(mgr, tr, dmmkit.ReplayOpts{SampleEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFootprint < res.MaxLive {
+		t.Errorf("footprint %d below live %d", res.MaxFootprint, res.MaxLive)
+	}
+	if len(res.Series) == 0 {
+		t.Error("no series sampled")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	for _, mk := range []func() dmmkit.Manager{
+		func() dmmkit.Manager { return dmmkit.NewKingsley(dmmkit.NewHeap()) },
+		func() dmmkit.Manager { return dmmkit.NewLea(dmmkit.NewHeap()) },
+		func() dmmkit.Manager { return dmmkit.NewRegions(dmmkit.NewHeap(), nil) },
+		func() dmmkit.Manager { return dmmkit.NewObstack(dmmkit.NewHeap()) },
+	} {
+		m := mk()
+		p, err := m.Alloc(dmmkit.Request{Size: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if err := m.Free(p); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if m.Stats().Allocs != 1 {
+			t.Errorf("%s: stats not recorded", m.Name())
+		}
+	}
+}
+
+func TestPublicWorkloadTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload generation in -short mode")
+	}
+	drr := dmmkit.DRRTrace(dmmkit.DRRConfig{Seed: 1, Net: dmmkit.NetConfig{Phases: 2, PhaseMs: 100}})
+	if err := drr.Validate(); err != nil {
+		t.Errorf("DRR trace invalid: %v", err)
+	}
+	recon := dmmkit.Recon3DTrace(dmmkit.Recon3DConfig{Seed: 1, Pairs: 1})
+	if err := recon.Validate(); err != nil {
+		t.Errorf("recon3d trace invalid: %v", err)
+	}
+	render := dmmkit.Render3DTrace(dmmkit.Render3DConfig{Seed: 1, Detail: 100, Frames: 8})
+	if err := render.Validate(); err != nil {
+		t.Errorf("render3d trace invalid: %v", err)
+	}
+}
+
+func TestLoadTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := dmmkit.NewTraceBuilder("file")
+	id := b.Alloc(128, 1)
+	b.Free(id)
+	tr := b.Build()
+
+	binPath := filepath.Join(dir, "t.trace")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := dmmkit.LoadTrace(binPath)
+	if err != nil {
+		t.Fatalf("LoadTrace(binary): %v", err)
+	}
+	if len(got.Events) != 2 {
+		t.Errorf("loaded %d events, want 2", len(got.Events))
+	}
+
+	jsonPath := filepath.Join(dir, "t.json")
+	f, err = os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err = dmmkit.LoadTrace(jsonPath)
+	if err != nil {
+		t.Fatalf("LoadTrace(json): %v", err)
+	}
+	if got.Name != "file" {
+		t.Errorf("loaded name %q", got.Name)
+	}
+}
+
+func TestEnumerateAndExploreSmall(t *testing.T) {
+	n := dmmkit.EnumerateVectors(func(dmmkit.Vector) bool { return true })
+	if n < 100000 {
+		t.Errorf("valid space only %d points", n)
+	}
+	order := dmmkit.TraversalOrder()
+	if len(order) == 0 || order[0] != dmmkit.TreeBlockSizes {
+		t.Error("traversal order does not start at A2 (block sizes)")
+	}
+	var bad dmmkit.Vector
+	bad.Set(dmmkit.TreeBlockTags, dmmkit.NoTags)
+	bad.Set(dmmkit.TreeSplitWhen, dmmkit.Always)
+	if msgs := dmmkit.ExplainVector(bad); len(msgs) == 0 {
+		t.Error("ExplainVector found no violations in a bad vector")
+	}
+}

@@ -1,0 +1,88 @@
+package dmmkit_test
+
+import (
+	"fmt"
+
+	"dmmkit"
+)
+
+// ExampleDesign shows the methodology on a synthetic profile: record a
+// trace, profile it, walk the decision trees, build the manager.
+func ExampleDesign() {
+	b := dmmkit.NewTraceBuilder("example")
+	var ids []int64
+	for i := 0; i < 100; i++ {
+		ids = append(ids, b.Alloc(int64(100+(i%7)*200), 0))
+		if len(ids) > 8 {
+			b.Free(ids[0])
+			ids = ids[1:]
+		}
+	}
+	for _, id := range ids {
+		b.Free(id)
+	}
+	tr := b.Build()
+
+	design := dmmkit.Design(dmmkit.Profile(tr))
+	fmt.Println("A2:", dmmkit.LeafName(dmmkit.TreeBlockSizes, design.Vector.BlockSizes))
+	fmt.Println("A5:", dmmkit.LeafName(dmmkit.TreeFlexBlockSize, design.Vector.Flex))
+	fmt.Println("C1:", dmmkit.LeafName(dmmkit.TreeFit, design.Vector.Fit))
+
+	mgr, err := design.Build(dmmkit.NewHeap())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := dmmkit.Replay(mgr, tr, dmmkit.ReplayOpts{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("footprint covers live bytes:", res.MaxFootprint >= res.MaxLive)
+	// Output:
+	// A2: many-variable
+	// A5: split+coalesce
+	// C1: exact
+	// footprint covers live bytes: true
+}
+
+// ExampleValidateVector demonstrates the interdependency constraints of
+// the design space (the paper's Figure 3 example).
+func ExampleValidateVector() {
+	var v dmmkit.Vector
+	v.Set(dmmkit.TreeBlockTags, dmmkit.NoTags)
+	v.Set(dmmkit.TreeRecordedInfo, dmmkit.RecordSize)
+	err := dmmkit.ValidateVector(v)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+// ExampleNewCustom builds a manager directly from a hand-written decision
+// vector (a Kingsley-like point of the space).
+func ExampleNewCustom() {
+	var v dmmkit.Vector
+	v.Set(dmmkit.TreeBlockStructure, dmmkit.SinglyLinked)
+	v.Set(dmmkit.TreeBlockSizes, dmmkit.ManyFixedSizes)
+	v.Set(dmmkit.TreeBlockTags, dmmkit.HeaderTag)
+	v.Set(dmmkit.TreeRecordedInfo, dmmkit.RecordSize)
+	v.Set(dmmkit.TreeFlexBlockSize, dmmkit.NoFlex)
+	v.Set(dmmkit.TreePoolDivision, dmmkit.PoolPerClass)
+	v.Set(dmmkit.TreePoolRange, dmmkit.Pow2Classes)
+	v.Set(dmmkit.TreeFit, dmmkit.FirstFit)
+	v.Set(dmmkit.TreeCoalesceWhen, dmmkit.Never)
+	v.Set(dmmkit.TreeSplitWhen, dmmkit.Never)
+	v.Set(dmmkit.TreeMaxBlockSizes, dmmkit.OneResultSize)
+	v.Set(dmmkit.TreeMinBlockSizes, dmmkit.OneResultSize)
+
+	m, err := dmmkit.NewCustom(dmmkit.NewHeap(), v, dmmkit.Params{})
+	if err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	p, _ := m.Alloc(dmmkit.Request{Size: 1500})
+	fmt.Println("gross block size:", m.Stats().GrossLive) // pow2 class
+	_ = m.Free(p)
+	// Output:
+	// gross block size: 2048
+}

@@ -1,0 +1,67 @@
+// Example recon3d reproduces the paper's multimedia case study: the
+// corner-matching kernel of a metric 3D reconstruction pipeline, whose
+// unpredictable feature counts force dynamic memory. The custom manager
+// is compared against the region manager of embedded real-time OSs and
+// against Kingsley (Table 1, column 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmmkit"
+)
+
+func main() {
+	fmt.Println("3D image reconstruction case study (paper Sec. 5, Table 1 col. 2)")
+	fmt.Println()
+
+	tr := dmmkit.Recon3DTrace(dmmkit.Recon3DConfig{Seed: 1})
+	prof := dmmkit.Profile(tr)
+	fmt.Printf("trace: %d events; frame buffers of %d B dominate a live peak of %d B\n\n",
+		len(tr.Events), prof.TagMax[0], prof.MaxLiveBytes)
+
+	// The "manually designed" region manager of the paper: one region
+	// per data type, each sized for its worst-case request rounded to a
+	// power of two (the partition rule of embedded kernels).
+	regionSizer := func(tag int, first int64) int64 {
+		max, ok := prof.TagMax[tag]
+		if !ok {
+			max = first
+		}
+		s := int64(8)
+		for s < max {
+			s <<= 1
+		}
+		return s
+	}
+
+	custom, _, err := dmmkit.DesignGlobal("custom", prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	managers := []dmmkit.Manager{
+		custom,
+		dmmkit.NewRegions(dmmkit.NewHeap(), regionSizer),
+		dmmkit.NewKingsley(dmmkit.NewHeap()),
+	}
+	fmt.Printf("%-10s %14s %10s %12s\n", "manager", "max footprint", "vs live", "internal frag")
+	var results []dmmkit.ReplayResult
+	for _, m := range managers {
+		res, err := dmmkit.Replay(m, tr, dmmkit.ReplayOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-10s %12d B %9.2fx %11.1f%%\n",
+			m.Name(), res.MaxFootprint, res.Overhead(), 100*res.Stats.InternalFrag())
+	}
+	fmt.Printf("\ncustom saves %.1f%% vs regions (paper: 28.47%%) and %.1f%% vs Kingsley (paper: 33.01%%)\n",
+		100*(1-float64(results[0].MaxFootprint)/float64(results[1].MaxFootprint)),
+		100*(1-float64(results[0].MaxFootprint)/float64(results[2].MaxFootprint)))
+	fmt.Println("\nwhy regions lose: every request of a data type consumes a worst-case")
+	fmt.Println("partition buffer, so small candidate-list nodes waste most of their block;")
+	fmt.Println("the custom manager allocates exact sizes and splits/coalesces on demand,")
+	fmt.Println("and serves the rare huge frame buffers from a dedicated large-block pool")
+	fmt.Println("that returns memory to the system as soon as a frame pair is done.")
+}

@@ -1,0 +1,175 @@
+// Package kingsley implements the Kingsley power-of-two segregated-fit
+// allocator, the policy behind the 4.4BSD libc malloc and the baseline the
+// paper identifies with Windows-based systems.
+//
+// Policy (after Wilson et al.'s survey, the paper's reference [19]):
+//
+//   - Requests are rounded up to the next power of two; one free list per
+//     size class holds blocks of exactly that gross size.
+//   - Allocation pops the class's free list; when empty, a new extent is
+//     carved from the system in page-sized chunks and split into blocks of
+//     the class size.
+//   - Free pushes the block back on its class list. Blocks are never
+//     split, never coalesced and never returned to the system, so every
+//     class retains its own high-water mark of memory forever — the
+//     behaviour responsible for Kingsley's large footprints in Table 1 of
+//     the paper.
+//
+// Each block carries a four-byte header recording its gross size, which is
+// how free recovers the class. In the design space of the paper the policy
+// is the point: A2=many-fixed, A3=header, A4=size, A5=none,
+// B1=pool-per-class, B4=pow2-classes, C1=first(-of-class), D2=E2=never.
+package kingsley
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dmmkit/internal/block"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+)
+
+const (
+	minGross = 16 // smallest block handed out (header + 12 payload bytes)
+	maxClass = 26 // largest class: 64 MiB blocks
+)
+
+// chunkBytes is the granularity of requests to the system for small
+// classes; classes larger than this are requested one block at a time.
+const chunkBytes = 4096
+
+var layout = block.Layout{Tags: block.TagsHeader, Info: block.InfoSize, Links: block.LinksSingle}
+
+// Manager is a Kingsley power-of-two allocator over a simulated heap.
+type Manager struct {
+	mm.Accounting
+	h    *heap.Heap
+	v    block.View
+	free [maxClass + 1]heap.Addr // free-list heads per class (log2 gross)
+	live mm.Shadow
+}
+
+// New returns an empty Kingsley manager owning h.
+func New(h *heap.Heap) *Manager {
+	return &Manager{h: h, v: block.NewView(h, layout)}
+}
+
+// Name implements mm.Manager.
+func (*Manager) Name() string { return "Kingsley" }
+
+// classFor returns the class index (log2 of gross size) for a request.
+func classFor(n int64) int {
+	gross := n + layout.HeaderBytes()
+	if gross < minGross {
+		gross = minGross
+	}
+	return 64 - bits.LeadingZeros64(uint64(gross-1))
+}
+
+// Alloc implements mm.Manager.
+func (m *Manager) Alloc(req mm.Request) (heap.Addr, error) {
+	if req.Size <= 0 {
+		m.NoteFail()
+		return heap.Nil, mm.ErrBadSize
+	}
+	c := classFor(req.Size)
+	if c > maxClass {
+		m.NoteFail()
+		return heap.Nil, fmt.Errorf("%w: request %d exceeds largest class", mm.ErrOutOfMemory, req.Size)
+	}
+	m.Charge(mm.CostIndex)
+	b := m.free[c]
+	if b == heap.Nil {
+		var err error
+		b, err = m.refill(c)
+		if err != nil {
+			m.NoteFail()
+			return heap.Nil, err
+		}
+	}
+	m.free[c] = m.v.NextFree(b)
+	m.Charge(mm.CostProbe + mm.CostUnlink)
+	gross := int64(1) << c
+	m.v.SetHeader(b, gross, false, false) // status bits unused in this layout
+	m.Charge(mm.CostHeader)
+	p := m.v.Payload(b)
+	m.live.Add(p, req.Size)
+	m.NoteAlloc(req.Size, gross)
+	return p, nil
+}
+
+// refill carves a new extent from the system into blocks of class c and
+// returns one of them, pushing the rest onto the class free list.
+func (m *Manager) refill(c int) (heap.Addr, error) {
+	gross := int64(1) << c
+	extent := gross
+	if extent < chunkBytes {
+		extent = chunkBytes
+	}
+	start, err := m.h.Sbrk(extent)
+	if err != nil {
+		return heap.Nil, err
+	}
+	m.Charge(mm.CostSbrk)
+	// Split the extent into blocks; push all but the first.
+	for off := gross; off+gross <= extent; off += gross {
+		b := start + heap.Addr(off)
+		m.v.SetHeader(b, gross, false, false)
+		m.v.SetNextFree(b, m.free[c])
+		m.free[c] = b
+		m.Charge(mm.CostLink)
+	}
+	m.v.SetHeader(start, gross, false, false)
+	m.v.SetNextFree(start, m.free[c])
+	m.free[c] = start
+	m.Charge(mm.CostLink)
+	return start, nil
+}
+
+// Free implements mm.Manager.
+func (m *Manager) Free(p heap.Addr) error {
+	req, ok := m.live.Remove(p)
+	if !ok {
+		m.NoteFail()
+		return mm.ErrBadFree
+	}
+	b := m.v.Block(p)
+	gross := m.v.Size(b)
+	c := 64 - bits.LeadingZeros64(uint64(gross-1))
+	m.Charge(mm.CostIndex)
+	m.v.SetNextFree(b, m.free[c])
+	m.free[c] = b
+	m.Charge(mm.CostLink)
+	m.NoteFree(req, gross)
+	return nil
+}
+
+// Heap exposes the simulated heap for tests and diagnostics.
+func (m *Manager) Heap() *heap.Heap { return m.h }
+
+// Footprint implements mm.Manager.
+func (m *Manager) Footprint() int64 { return m.h.Footprint() }
+
+// MaxFootprint implements mm.Manager.
+func (m *Manager) MaxFootprint() int64 { return m.h.MaxFootprint() }
+
+// Reset restores the manager and its heap to the initial state.
+func (m *Manager) Reset() {
+	m.h.Reset()
+	m.free = [maxClass + 1]heap.Addr{}
+	m.live.Reset()
+	m.ResetStats()
+}
+
+// FreeBlocks returns the number of blocks on the class-c free list, for
+// tests and fragmentation diagnostics.
+func (m *Manager) FreeBlocks(c int) int {
+	n := 0
+	for b := m.free[c]; b != heap.Nil; b = m.v.NextFree(b) {
+		n++
+	}
+	return n
+}
+
+var _ mm.Manager = (*Manager)(nil)

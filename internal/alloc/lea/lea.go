@@ -1,0 +1,520 @@
+// Package lea implements a Lea-style allocator: the dlmalloc policy that
+// the paper identifies as the basis of Linux-based systems and uses as its
+// strongest general-purpose baseline.
+//
+// The implementation follows dlmalloc 2.7's policy elements as described
+// in Wilson et al.'s survey and Lea's own documentation:
+//
+//   - Boundary tags: every block has a 4-byte size/status header; free
+//     blocks additionally carry a 4-byte footer, enabling constant-time
+//     bidirectional coalescing. (Real dlmalloc overlaps the footer with
+//     the neighbour's prev_size slot; here the footer is reserved inside
+//     the block, costing 4 bytes more per block — documented.)
+//   - Segregated bins: exact-spaced small bins (8-byte spacing up to 504
+//     bytes gross) and logarithmically spaced, size-sorted large bins,
+//     searched best-fit.
+//   - Deferred coalescing for tiny blocks ("fastbins", gross <= 80
+//     bytes): freed tiny blocks keep their used bit and are recycled
+//     LIFO without merging until a consolidation pass runs. This is the
+//     "coalesce seldomly" behaviour the paper ascribes to Lea.
+//   - A wilderness (top) chunk bordering the program break, extended via
+//     sbrk and trimmed back to the system when it exceeds TrimThreshold.
+//   - mmap for huge requests (>= MmapThreshold), returned to the system
+//     on free.
+//
+// In the design space: A1=doubly-linked, A2=many-variable, A3=both tags,
+// A4=size+status, A5=split+coalesce, B1=pool-per-class (bins),
+// B4=exact+log classes, C1=best fit, D2=deferred (fastbins) /
+// always (others), E2=always.
+package lea
+
+import (
+	"fmt"
+
+	"dmmkit/internal/block"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+)
+
+// Config tunes the Lea manager; zero values select the defaults of the
+// glibc ptmalloc derivative the paper benchmarks as "Lea-Linux":
+// M_TRIM_THRESHOLD = M_TOP_PAD = M_MMAP_THRESHOLD = 128 KiB.
+type Config struct {
+	TrimThreshold int64 // trim top when it exceeds this (default 128 KiB)
+	MmapThreshold int64 // direct-map requests at least this large (default 128 KiB)
+	TopPad        int64 // extra padding when extending top (default 128 KiB)
+}
+
+func (c *Config) defaults() {
+	if c.TrimThreshold == 0 {
+		c.TrimThreshold = 128 << 10
+	}
+	if c.MmapThreshold == 0 {
+		c.MmapThreshold = 128 << 10
+	}
+	if c.TopPad == 0 {
+		c.TopPad = 128 << 10
+	}
+}
+
+const (
+	minGross  = 16  // header + footer + two links
+	fastMax   = 80  // largest gross size handled by fastbins
+	smallMax  = 504 // largest gross size with exact small bins
+	nFastBins = fastMax/8 + 1
+	nSmall    = smallMax/8 + 1 // indexed gross/8, entries below 2 unused
+	nLarge    = 22             // log-spaced bins for gross > smallMax
+)
+
+var layout = block.Layout{Tags: block.TagsBoth, Info: block.InfoSize | block.InfoStatus, Links: block.LinksDouble}
+
+// Manager is a Lea-style best-fit allocator with boundary tags over a
+// simulated heap.
+type Manager struct {
+	mm.Accounting
+	h   *heap.Heap
+	v   block.View
+	cfg Config
+
+	heapStart heap.Addr // first managed address (set on first extension)
+	top       heap.Addr // wilderness chunk (heap.Nil until first use)
+
+	fast  [nFastBins]heap.Addr // LIFO singly-linked fastbins (via NextFree)
+	small [nSmall]heap.Addr    // doubly-linked exact bins
+	large [nLarge]heap.Addr    // doubly-linked size-sorted bins
+
+	mapped map[heap.Addr]int64 // payload -> segment base gross for mmapped blocks
+	live   mm.Shadow
+}
+
+// New returns an empty Lea manager owning h.
+func New(h *heap.Heap, cfg Config) *Manager {
+	cfg.defaults()
+	return &Manager{h: h, v: block.NewView(h, layout), cfg: cfg, mapped: make(map[heap.Addr]int64)}
+}
+
+// Name implements mm.Manager.
+func (*Manager) Name() string { return "Lea" }
+
+// Heap exposes the simulated heap for tests and diagnostics.
+func (m *Manager) Heap() *heap.Heap { return m.h }
+
+func fastIndex(gross int64) int  { return int(gross / 8) }
+func smallIndex(gross int64) int { return int(gross / 8) }
+
+// largeIndex maps gross sizes > smallMax to log-spaced bins.
+func largeIndex(gross int64) int {
+	i := 0
+	for s := int64(1024); s <= gross && i < nLarge-1; s <<= 1 {
+		i++
+	}
+	return i
+}
+
+// Alloc implements mm.Manager.
+func (m *Manager) Alloc(req mm.Request) (heap.Addr, error) {
+	if req.Size <= 0 {
+		m.NoteFail()
+		return heap.Nil, mm.ErrBadSize
+	}
+	gross := layout.GrossFor(req.Size)
+	if gross >= m.cfg.MmapThreshold {
+		return m.allocMapped(req)
+	}
+	m.Charge(mm.CostIndex)
+
+	// 1. Exact fastbin hit.
+	if gross <= fastMax {
+		if b := m.fast[fastIndex(gross)]; b != heap.Nil {
+			m.fast[fastIndex(gross)] = m.v.NextFree(b)
+			m.Charge(mm.CostProbe + mm.CostUnlink)
+			return m.finishAlloc(b, req, gross, false)
+		}
+	}
+	// 2. Exact small bin hit.
+	if gross <= smallMax {
+		if b := m.small[smallIndex(gross)]; b != heap.Nil {
+			m.unlinkSmall(b, smallIndex(gross))
+			m.Charge(mm.CostProbe + mm.CostUnlink)
+			return m.finishAlloc(b, req, gross, true)
+		}
+	}
+	// Fastbins are consolidated lazily, under memory pressure only (in
+	// carveTop, before the break is extended) — the deferred coalescing
+	// the paper describes as Lea coalescing "seldomly".
+	// 3. Best fit over the remaining bins.
+	if b := m.bestFit(gross); b != heap.Nil {
+		return m.finishAlloc(b, req, gross, true)
+	}
+	// 4. Carve from top, consolidating and extending as needed.
+	b, err := m.carveTop(gross)
+	if err != nil {
+		m.NoteFail()
+		return heap.Nil, err
+	}
+	return m.finishAlloc(b, req, gross, false)
+}
+
+func (m *Manager) allocMapped(req mm.Request) (heap.Addr, error) {
+	gross := layout.GrossFor(req.Size)
+	base, err := m.h.Map(gross)
+	if err != nil {
+		m.NoteFail()
+		return heap.Nil, err
+	}
+	m.Charge(mm.CostSbrk)
+	segGross := m.h.SegmentSize(base)
+	m.v.SetHeader(base, gross, true, true)
+	p := m.v.Payload(base)
+	m.mapped[p] = segGross
+	m.live.Add(p, req.Size)
+	m.NoteAlloc(req.Size, segGross)
+	return p, nil
+}
+
+// finishAlloc marks block b used, splits off any viable remainder, and
+// returns the payload address. fromBin records whether b came from a
+// doubly linked bin (footer valid) — needed only for accounting clarity.
+func (m *Manager) finishAlloc(b heap.Addr, req mm.Request, gross int64, fromBin bool) (heap.Addr, error) {
+	_ = fromBin
+	have := m.v.Size(b)
+	if have-gross >= minGross {
+		m.split(b, gross)
+		have = gross
+	}
+	m.v.SetHeader(b, have, true, m.v.PrevUsed(b))
+	m.setNextPrevUsed(b, true)
+	m.Charge(mm.CostHeader)
+	p := m.v.Payload(b)
+	m.live.Add(p, req.Size)
+	m.NoteAlloc(req.Size, have)
+	return p, nil
+}
+
+// split carves block b into a used prefix of want bytes and a free
+// remainder placed into a bin.
+func (m *Manager) split(b heap.Addr, want int64) {
+	have := m.v.Size(b)
+	rem := b + heap.Addr(want)
+	m.v.SetHeader(b, want, true, m.v.PrevUsed(b))
+	m.v.SetHeader(rem, have-want, false, true)
+	m.v.WriteFooter(rem)
+	m.NoteSplit()
+	m.binFree(rem)
+}
+
+// bestFit searches small bins at or above gross, then large bins, for the
+// smallest free block that fits. Returns heap.Nil when none fits.
+func (m *Manager) bestFit(gross int64) heap.Addr {
+	if gross <= smallMax {
+		for i := smallIndex(gross); i < nSmall; i++ {
+			m.Charge(mm.CostProbe)
+			if b := m.small[i]; b != heap.Nil {
+				m.unlinkSmall(b, i)
+				m.Charge(mm.CostUnlink)
+				return b
+			}
+		}
+	}
+	start := 0
+	if gross > smallMax {
+		start = largeIndex(gross)
+	}
+	for i := start; i < nLarge; i++ {
+		for b := m.large[i]; b != heap.Nil; b = m.v.NextFree(b) {
+			m.Charge(mm.CostProbe)
+			if m.v.Size(b) >= gross {
+				m.unlinkLarge(b, i)
+				m.Charge(mm.CostUnlink)
+				return b
+			}
+		}
+	}
+	return heap.Nil
+}
+
+// carveTop satisfies gross bytes from the wilderness chunk, consolidating
+// fastbins and extending the break as required.
+func (m *Manager) carveTop(gross int64) (heap.Addr, error) {
+	if m.topSize() < gross+minGross {
+		m.consolidate()
+		// Consolidation may have merged blocks into top or produced a
+		// binned fit; retry the bins once.
+		if b := m.bestFit(gross); b != heap.Nil {
+			return b, nil
+		}
+	}
+	if m.topSize() < gross+minGross {
+		need := gross + minGross - m.topSize() + m.cfg.TopPad
+		start, err := m.h.Sbrk(need)
+		if err != nil {
+			return heap.Nil, err
+		}
+		m.Charge(mm.CostSbrk)
+		if m.top == heap.Nil {
+			m.heapStart = start
+			m.top = start
+			m.v.SetHeader(m.top, int64(m.h.Brk()-start), false, true)
+		} else {
+			// sbrk extends contiguously past the old break, growing top.
+			m.v.SetHeader(m.top, int64(m.h.Brk()-m.top), false, m.v.PrevUsed(m.top))
+		}
+		m.Charge(mm.CostHeader)
+	}
+	// Carve from the low end of top.
+	b := m.top
+	prevUsed := m.v.PrevUsed(m.top)
+	topSize := m.v.Size(m.top)
+	m.top = b + heap.Addr(gross)
+	m.v.SetHeader(m.top, topSize-gross, false, true)
+	m.v.SetHeader(b, gross, false, prevUsed) // finishAlloc seals it as used
+	m.Charge(mm.CostHeader)
+	return b, nil
+}
+
+func (m *Manager) topSize() int64 {
+	if m.top == heap.Nil {
+		return 0
+	}
+	return m.v.Size(m.top)
+}
+
+// Free implements mm.Manager.
+func (m *Manager) Free(p heap.Addr) error {
+	req, ok := m.live.Remove(p)
+	if !ok {
+		m.NoteFail()
+		return mm.ErrBadFree
+	}
+	if segGross, isMapped := m.mapped[p]; isMapped {
+		delete(m.mapped, p)
+		if err := m.h.Unmap(m.v.Block(p)); err != nil {
+			m.NoteFail()
+			return err
+		}
+		m.Charge(mm.CostTrim)
+		m.NoteFree(req, segGross)
+		return nil
+	}
+	b := m.v.Block(p)
+	gross := m.v.Size(b)
+	m.NoteFree(req, gross)
+	if gross <= fastMax {
+		// Deferred coalescing: keep the used bit so neighbours skip it.
+		m.v.SetNextFree(b, m.fast[fastIndex(gross)])
+		m.fast[fastIndex(gross)] = b
+		m.Charge(mm.CostLink)
+		return nil
+	}
+	m.freeChunk(b)
+	m.maybeTrim()
+	return nil
+}
+
+// freeChunk coalesces block b with free neighbours and places the result
+// in a bin (or merges it into top).
+func (m *Manager) freeChunk(b heap.Addr) {
+	size := m.v.Size(b)
+	// Backward merge.
+	if !m.v.PrevUsed(b) {
+		prevSize := m.v.PrevFooterSize(b)
+		prev := b - heap.Addr(prevSize)
+		m.unbin(prev)
+		b = prev
+		size += prevSize
+		m.NoteCoalesce()
+	}
+	// Forward merge (with a binned block or with top).
+	next := b + heap.Addr(size)
+	if next == m.top {
+		size += m.v.Size(m.top)
+		m.top = b
+		m.v.SetHeader(b, size, false, m.v.PrevUsed(b))
+		m.NoteCoalesce()
+		m.Charge(mm.CostHeader)
+		return
+	}
+	if next < m.h.Brk() && !m.v.Used(next) {
+		m.unbin(next)
+		size += m.v.Size(next)
+		m.NoteCoalesce()
+	}
+	m.v.SetHeader(b, size, false, m.v.PrevUsed(b))
+	m.v.WriteFooter(b)
+	m.setNextPrevUsed(b, false)
+	m.Charge(mm.CostHeader)
+	m.binFree(b)
+}
+
+// consolidate empties the fastbins, fully freeing each entry with
+// coalescing (dlmalloc's malloc_consolidate).
+func (m *Manager) consolidate() {
+	for i := range m.fast {
+		for b := m.fast[i]; b != heap.Nil; {
+			next := m.v.NextFree(b)
+			m.Charge(mm.CostProbe)
+			m.freeChunk(b)
+			b = next
+		}
+		m.fast[i] = heap.Nil
+	}
+}
+
+// maybeTrim returns the tail of an oversized top chunk to the system.
+func (m *Manager) maybeTrim() {
+	if m.top == heap.Nil {
+		return
+	}
+	size := m.v.Size(m.top)
+	if size < m.cfg.TrimThreshold {
+		return
+	}
+	keep := m.cfg.TopPad
+	release := (size - keep) &^ (heap.Align - 1)
+	if release <= 0 {
+		return
+	}
+	if err := m.h.ShrinkBrk(release); err != nil {
+		return // cannot trim (should not happen); keep the memory
+	}
+	m.Charge(mm.CostTrim)
+	m.v.SetHeader(m.top, size-release, false, m.v.PrevUsed(m.top))
+	m.Charge(mm.CostHeader)
+}
+
+// setNextPrevUsed updates the prevUsed bit of b's next physical neighbour
+// (or nothing when b borders top/break).
+func (m *Manager) setNextPrevUsed(b heap.Addr, used bool) {
+	next := m.v.Next(b)
+	if next < m.h.Brk() {
+		m.v.SetPrevUsed(next, used)
+		m.Charge(mm.CostHeader)
+	}
+}
+
+// binFree inserts the free block b into the small or large bin for its
+// size. Small bins are LIFO; large bins are kept sorted ascending by size
+// so bestFit takes the first fit.
+func (m *Manager) binFree(b heap.Addr) {
+	size := m.v.Size(b)
+	if size <= smallMax {
+		i := smallIndex(size)
+		m.v.SetNextFree(b, m.small[i])
+		m.v.SetPrevFree(b, heap.Nil)
+		if m.small[i] != heap.Nil {
+			m.v.SetPrevFree(m.small[i], b)
+		}
+		m.small[i] = b
+		m.Charge(mm.CostLink)
+		return
+	}
+	i := largeIndex(size)
+	var prev heap.Addr
+	cur := m.large[i]
+	for cur != heap.Nil && m.v.Size(cur) < size {
+		m.Charge(mm.CostProbe)
+		prev, cur = cur, m.v.NextFree(cur)
+	}
+	m.v.SetNextFree(b, cur)
+	m.v.SetPrevFree(b, prev)
+	if cur != heap.Nil {
+		m.v.SetPrevFree(cur, b)
+	}
+	if prev == heap.Nil {
+		m.large[i] = b
+	} else {
+		m.v.SetNextFree(prev, b)
+	}
+	m.Charge(mm.CostLink)
+}
+
+// unbin removes a known-free block from whichever doubly linked bin holds
+// it (used when coalescing neighbours).
+func (m *Manager) unbin(b heap.Addr) {
+	size := m.v.Size(b)
+	var head *heap.Addr
+	if size <= smallMax {
+		head = &m.small[smallIndex(size)]
+	} else {
+		head = &m.large[largeIndex(size)]
+	}
+	next := m.v.NextFree(b)
+	prev := m.v.PrevFree(b)
+	if prev == heap.Nil {
+		*head = next
+	} else {
+		m.v.SetNextFree(prev, next)
+	}
+	if next != heap.Nil {
+		m.v.SetPrevFree(next, prev)
+	}
+	m.Charge(mm.CostUnlink)
+}
+
+func (m *Manager) unlinkSmall(b heap.Addr, i int) {
+	next := m.v.NextFree(b)
+	m.small[i] = next
+	if next != heap.Nil {
+		m.v.SetPrevFree(next, heap.Nil)
+	}
+}
+
+func (m *Manager) unlinkLarge(b heap.Addr, i int) {
+	next := m.v.NextFree(b)
+	prev := m.v.PrevFree(b)
+	if prev == heap.Nil {
+		m.large[i] = next
+	} else {
+		m.v.SetNextFree(prev, next)
+	}
+	if next != heap.Nil {
+		m.v.SetPrevFree(next, prev)
+	}
+}
+
+// Footprint implements mm.Manager.
+func (m *Manager) Footprint() int64 { return m.h.Footprint() }
+
+// MaxFootprint implements mm.Manager.
+func (m *Manager) MaxFootprint() int64 { return m.h.MaxFootprint() }
+
+// Reset restores the manager and its heap to the initial state.
+func (m *Manager) Reset() {
+	m.h.Reset()
+	m.heapStart, m.top = heap.Nil, heap.Nil
+	m.fast = [nFastBins]heap.Addr{}
+	m.small = [nSmall]heap.Addr{}
+	m.large = [nLarge]heap.Addr{}
+	m.mapped = make(map[heap.Addr]int64)
+	m.live.Reset()
+	m.ResetStats()
+}
+
+// CheckInvariants walks the managed sbrk region verifying that blocks tile
+// it exactly and boundary tags are consistent; it is used by tests after
+// torture runs.
+func (m *Manager) CheckInvariants() error {
+	if m.top == heap.Nil {
+		return nil
+	}
+	end := m.h.Brk()
+	foundTop := false
+	err := m.v.Walk(m.heapStart, end, func(bi block.BlockInfo) error {
+		if bi.Addr == m.top {
+			foundTop = true
+			if bi.Addr+heap.Addr(bi.Size) != end {
+				return fmt.Errorf("lea: top chunk does not reach the break")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !foundTop {
+		return fmt.Errorf("lea: top chunk missing from heap walk")
+	}
+	return nil
+}
+
+var _ mm.Manager = (*Manager)(nil)

@@ -1,0 +1,567 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"dmmkit/internal/block"
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+)
+
+// Custom is an atomic DM manager: one point of the design space realized
+// over a simulated heap. Its behaviour is entirely determined by the
+// decision vector and params it was built from.
+type Custom struct {
+	mm.Accounting
+	h   *heap.Heap
+	v   block.View
+	vec dspace.Vector
+	par Params
+	lay block.Layout
+
+	tagged bool // layout carries in-band metadata (A3 != none)
+
+	pools map[poolKey]*pool
+	keys  []poolKey // sorted by (phase, class)
+
+	top       heap.Addr // wilderness chunk (tagged variable managers)
+	heapStart heap.Addr
+
+	phase int // current behavioural phase (B3)
+	frees int // frees since last deferred consolidation
+
+	grossOf map[heap.Addr]int64   // block sizes for untagged layouts
+	freeKey map[heap.Addr]poolKey // pool holding each binned free block
+	direct  map[heap.Addr]int64   // payload -> segment gross for direct blocks
+	live    mm.Shadow
+
+	name string
+}
+
+// NewCustom builds the atomic manager described by vec and par over h. It
+// returns an error when vec violates the design-space interdependencies.
+func NewCustom(h *heap.Heap, vec dspace.Vector, par Params) (*Custom, error) {
+	if err := dspace.Validate(&vec); err != nil {
+		return nil, err
+	}
+	par.defaults(vec)
+	if !sort.SliceIsSorted(par.ClassSizes, func(i, j int) bool { return par.ClassSizes[i] < par.ClassSizes[j] }) {
+		return nil, fmt.Errorf("core: ClassSizes must be ascending")
+	}
+	lay := layoutFor(vec)
+	m := &Custom{
+		h:       h,
+		vec:     vec,
+		par:     par,
+		lay:     lay,
+		tagged:  lay.Tags != block.TagsNone,
+		pools:   make(map[poolKey]*pool),
+		freeKey: make(map[heap.Addr]poolKey),
+		direct:  make(map[heap.Addr]int64),
+		name:    "Custom",
+	}
+	m.v = block.NewView(h, lay)
+	if !m.tagged {
+		m.grossOf = make(map[heap.Addr]int64)
+	}
+	return m, nil
+}
+
+// layoutFor derives the in-band block layout from the A1/A3/A4 decisions.
+func layoutFor(vec dspace.Vector) block.Layout {
+	var l block.Layout
+	switch vec.BlockTags {
+	case dspace.NoTags:
+		l.Tags = block.TagsNone
+	case dspace.HeaderTag:
+		l.Tags = block.TagsHeader
+	default:
+		l.Tags = block.TagsBoth
+	}
+	switch vec.RecordedInfo {
+	case dspace.RecordSize:
+		l.Info = block.InfoSize
+	case dspace.RecordSizeStatus:
+		l.Info = block.InfoSize | block.InfoStatus
+	case dspace.RecordSizeStatusPrev:
+		l.Info = block.InfoSize | block.InfoStatus | block.InfoPrevSize
+	}
+	if vec.BlockStructure == dspace.SinglyLinked {
+		l.Links = block.LinksSingle
+	} else {
+		l.Links = block.LinksDouble
+	}
+	return l
+}
+
+// Name implements mm.Manager.
+func (m *Custom) Name() string { return m.name }
+
+// SetName overrides the display name (used by experiments to label derived
+// managers).
+func (m *Custom) SetName(s string) { m.name = s }
+
+// Vector returns the decision vector the manager realizes.
+func (m *Custom) Vector() dspace.Vector { return m.vec }
+
+// ParamsUsed returns the numeric parameters in effect (after defaults).
+func (m *Custom) ParamsUsed() Params { return m.par }
+
+// Heap exposes the simulated heap for tests and diagnostics.
+func (m *Custom) Heap() *heap.Heap { return m.h }
+
+func (m *Custom) hasStatus() bool   { return m.lay.Info.Has(block.InfoStatus) }
+func (m *Custom) hasPrevSize() bool { return m.lay.Info.Has(block.InfoPrevSize) }
+
+func (m *Custom) canSplit() bool {
+	return m.vec.Flex == dspace.SplitOnly || m.vec.Flex == dspace.SplitCoalesce
+}
+
+func (m *Custom) canCoalesce() bool {
+	return m.vec.Flex == dspace.CoalesceOnly || m.vec.Flex == dspace.SplitCoalesce
+}
+
+// sizeOf returns the gross size of block b from its header or, for
+// untagged layouts, from the partition table.
+func (m *Custom) sizeOf(b heap.Addr) int64 {
+	if m.tagged {
+		return m.v.Size(b)
+	}
+	return m.grossOf[b]
+}
+
+// isClassSize reports whether s is one of the configured class sizes.
+func (m *Custom) isClassSize(s int64) bool {
+	i := sort.Search(len(m.par.ClassSizes), func(i int) bool { return m.par.ClassSizes[i] >= s })
+	return i < len(m.par.ClassSizes) && m.par.ClassSizes[i] == s
+}
+
+// quantize applies the A2/B4 size discipline to a base gross size,
+// returning the effective gross size, the pool class (0 = the any-range
+// pool) and whether the request must be served by a dedicated block
+// because it exceeds every class.
+func (m *Custom) quantize(base int64) (gross, class int64, dedicated bool) {
+	// A2: the block sizes that exist at all.
+	switch m.vec.BlockSizes {
+	case dspace.OneBlockSize:
+		one := m.par.ClassSizes[0]
+		if base > one {
+			return base, 0, true
+		}
+		base = one
+	case dspace.ManyFixedSizes:
+		i := sort.Search(len(m.par.ClassSizes), func(i int) bool { return m.par.ClassSizes[i] >= base })
+		if i == len(m.par.ClassSizes) {
+			return base, 0, true
+		}
+		base = m.par.ClassSizes[i]
+	}
+	// B4: how pools partition those sizes.
+	switch m.vec.PoolRange {
+	case dspace.AnyRange:
+		return base, 0, false
+	case dspace.Pow2Classes:
+		g := pow2ceil(base)
+		return g, g, false
+	case dspace.ExactClasses:
+		return base, base, false
+	default: // FixedSizePerPool
+		i := sort.Search(len(m.par.ClassSizes), func(i int) bool { return m.par.ClassSizes[i] >= base })
+		if i == len(m.par.ClassSizes) {
+			return base, 0, true
+		}
+		return m.par.ClassSizes[i], m.par.ClassSizes[i], false
+	}
+}
+
+// floorClass maps an arbitrary gross size to the pool class that stores
+// it: blocks of intermediate size (split/coalesce results) live in the
+// largest class not exceeding them.
+func (m *Custom) floorClass(gross int64) int64 {
+	switch m.vec.PoolRange {
+	case dspace.AnyRange:
+		return 0
+	case dspace.Pow2Classes:
+		return pow2floor(gross)
+	case dspace.ExactClasses:
+		return gross
+	default: // FixedSizePerPool
+		i := sort.Search(len(m.par.ClassSizes), func(i int) bool { return m.par.ClassSizes[i] > gross })
+		if i == 0 {
+			return m.par.ClassSizes[0]
+		}
+		return m.par.ClassSizes[i-1]
+	}
+}
+
+func pow2ceil(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(uint64(n-1)))
+}
+
+func pow2floor(n int64) int64 {
+	if n <= 0 {
+		return 1
+	}
+	return 1 << (63 - bits.LeadingZeros64(uint64(n)))
+}
+
+func (m *Custom) keyFor(phase int, class int64) poolKey {
+	if m.vec.PoolPhase != dspace.PoolsPerPhase {
+		phase = 0
+	}
+	return poolKey{phase: phase, class: class}
+}
+
+// phaseOf returns the phase pools a block belongs to. Per-phase pool
+// division assumes phases are temporally disjoint (true of the paper's
+// applications), so the current phase is used.
+func (m *Custom) phaseOf(heap.Addr) int {
+	if m.vec.PoolPhase != dspace.PoolsPerPhase {
+		return 0
+	}
+	return m.phase
+}
+
+// Alloc implements mm.Manager.
+func (m *Custom) Alloc(req mm.Request) (heap.Addr, error) {
+	if req.Size <= 0 {
+		m.NoteFail()
+		return heap.Nil, mm.ErrBadSize
+	}
+	m.phase = req.Phase
+	base := m.lay.GrossFor(req.Size)
+	if m.par.DirectThreshold > 0 && base >= m.par.DirectThreshold {
+		return m.allocDirect(req)
+	}
+	gross, class, dedicated := m.quantize(base)
+	if dedicated {
+		return m.allocDedicated(req, gross)
+	}
+	m.Charge(mm.CostIndex)
+
+	// Deferred-list exact reuse (D2=deferred): recycle an identically
+	// sized deferred block without coalescing, as dlmalloc's fastbins do.
+	if m.vec.CoalesceWhen == dspace.Deferred {
+		if b := m.popDeferredExact(class, gross); b != heap.Nil {
+			return m.sealAlloc(b, gross, req), nil
+		}
+	}
+
+	// Search the pools. The block handed back may be larger than gross
+	// when splitting is not allowed; the whole block is then consumed
+	// (internal fragmentation, visible in GrossLive).
+	if b, have, ok := m.allocFromPools(req.Phase, class, gross); ok {
+		return m.sealAlloc(b, have, req), nil
+	}
+
+	// Refill from the system.
+	b, have, err := m.refill(req.Phase, class, gross)
+	if err != nil {
+		m.NoteFail()
+		return heap.Nil, err
+	}
+	return m.sealAlloc(b, have, req), nil
+}
+
+// allocFromPools searches the pool for class and, when splitting is
+// available, every larger class in the same phase. Found blocks are
+// unlinked and split down to gross when policy allows; the returned size
+// is the gross size actually consumed.
+func (m *Custom) allocFromPools(phase int, class int64, gross int64) (heap.Addr, int64, bool) {
+	k := m.keyFor(phase, class)
+	try := func(key poolKey) (heap.Addr, int64, bool) {
+		pl := m.poolFor(key)
+		r := m.searchPool(pl, gross)
+		if !r.ok {
+			return heap.Nil, 0, false
+		}
+		m.unlink(pl, r.b, r.sprev)
+		have := m.sizeOf(r.b)
+		if have > gross && m.maySplit(have, gross) {
+			m.split(r.b, gross)
+			have = gross
+		}
+		return r.b, have, true
+	}
+	if b, have, ok := try(k); ok {
+		return b, have, true
+	}
+	if m.vec.PoolRange == dspace.AnyRange || !m.canSplit() {
+		return heap.Nil, 0, false
+	}
+	// Segregated fit with splitting: walk larger classes in this phase.
+	i := sort.Search(len(m.keys), func(i int) bool { return !keyLess(m.keys[i], k) })
+	for ; i < len(m.keys) && m.keys[i].phase == k.phase; i++ {
+		if m.keys[i].class <= class {
+			continue
+		}
+		if b, have, ok := try(m.keys[i]); ok {
+			return b, have, true
+		}
+	}
+	return heap.Nil, 0, false
+}
+
+// popDeferredExact recycles an exact-size block from the deferred list of
+// the class pool, if any.
+func (m *Custom) popDeferredExact(class, gross int64) heap.Addr {
+	pl := m.poolFor(m.keyFor(m.phase, class))
+	var prev heap.Addr
+	for b := pl.deferred; b != heap.Nil; b = m.nextFree(b) {
+		m.Charge(mm.CostProbe)
+		if m.sizeOf(b) == gross {
+			if prev == heap.Nil {
+				pl.deferred = m.nextFree(b)
+			} else {
+				m.setNextFree(prev, m.nextFree(b))
+			}
+			pl.nDeferred--
+			m.Charge(mm.CostUnlink)
+			return b
+		}
+		prev = b
+	}
+	return heap.Nil
+}
+
+// refill obtains fresh memory: flexible managers consolidate and carve
+// from the wilderness; rigid (no-split) managers carve class-sized chunks.
+// It returns the block and its gross size.
+func (m *Custom) refill(phase int, class int64, gross int64) (heap.Addr, int64, error) {
+	if m.vec.CoalesceWhen == dspace.Deferred {
+		// Consolidate before going to the system, then retry the pools.
+		m.consolidate()
+		if b, have, ok := m.allocFromPools(phase, class, gross); ok {
+			return b, have, nil
+		}
+	}
+	if m.tagged && m.canSplit() {
+		b, err := m.carveTop(gross)
+		return b, gross, err
+	}
+	if class == 0 {
+		// Variable sizes without splitting: dedicated exact extents.
+		b, err := m.allocExtent(gross)
+		return b, gross, err
+	}
+	// Chunked carve: one system request yields several class blocks.
+	n := m.par.ChunkBytes / gross
+	if n < 1 {
+		n = 1
+	}
+	start, err := m.h.Sbrk(n * gross)
+	if err != nil {
+		return heap.Nil, 0, err
+	}
+	m.Charge(mm.CostSbrk)
+	if m.heapStart == heap.Nil {
+		m.heapStart = start
+	}
+	k := m.keyFor(phase, class)
+	pl := m.poolFor(k)
+	for i := n - 1; i >= 1; i-- {
+		b := start + heap.Addr(i*gross)
+		m.initBlock(b, gross, i > 0)
+		m.insertFree(pl, b)
+		m.freeKey[b] = k
+	}
+	m.initBlock(start, gross, false)
+	return start, gross, nil
+}
+
+// initBlock writes the header (or partition-table entry) for a fresh free
+// block. prevFree hints the prevUsed bit for layouts that track status.
+func (m *Custom) initBlock(b heap.Addr, gross int64, prevFree bool) {
+	if !m.tagged {
+		m.grossOf[b] = gross
+		return
+	}
+	m.v.SetHeader(b, gross, false, !prevFree)
+	m.writeNeighborInfo(b)
+	m.Charge(mm.CostHeader)
+}
+
+// allocExtent serves one block with a dedicated system extent (used by
+// untagged/rigid variable managers and oversize dedicated requests).
+func (m *Custom) allocExtent(gross int64) (heap.Addr, error) {
+	b, err := m.h.Sbrk(gross)
+	if err != nil {
+		return heap.Nil, err
+	}
+	m.Charge(mm.CostSbrk)
+	if m.heapStart == heap.Nil {
+		m.heapStart = b
+	}
+	m.initBlock(b, gross, false)
+	return b, nil
+}
+
+func (m *Custom) allocDedicated(req mm.Request, gross int64) (heap.Addr, error) {
+	b, err := m.allocExtent(gross)
+	if err != nil {
+		m.NoteFail()
+		return heap.Nil, err
+	}
+	return m.sealAlloc(b, gross, req), nil
+}
+
+// allocDirect serves a request from a dedicated mapped segment (the
+// designed large-block pool; returned to the system on free).
+func (m *Custom) allocDirect(req mm.Request) (heap.Addr, error) {
+	gross := m.lay.GrossFor(req.Size)
+	base, err := m.h.Map(gross)
+	if err != nil {
+		m.NoteFail()
+		return heap.Nil, err
+	}
+	m.Charge(mm.CostSbrk)
+	segGross := m.h.SegmentSize(base)
+	var p heap.Addr
+	if m.tagged {
+		m.v.SetHeader(base, gross, true, true)
+		p = m.v.Payload(base)
+	} else {
+		p = base
+	}
+	m.direct[p] = segGross
+	m.live.Add(p, req.Size)
+	m.NoteAlloc(req.Size, segGross)
+	return p, nil
+}
+
+// sealAlloc marks block b as used and returns its payload address.
+func (m *Custom) sealAlloc(b heap.Addr, gross int64, req mm.Request) heap.Addr {
+	var p heap.Addr
+	if m.tagged {
+		m.v.SetHeader(b, gross, true, m.prevUsedBit(b))
+		if m.hasPrevSize() {
+			next := b + heap.Addr(gross)
+			if next < m.h.Brk() {
+				m.v.SetPrevSize(next, gross)
+			}
+		}
+		m.markNeighborOfFree(b, true)
+		m.Charge(mm.CostHeader)
+		p = m.v.Payload(b)
+	} else {
+		p = b
+	}
+	m.live.Add(p, req.Size)
+	m.NoteAlloc(req.Size, gross)
+	return p
+}
+
+// Free implements mm.Manager.
+func (m *Custom) Free(p heap.Addr) error {
+	req, ok := m.live.Remove(p)
+	if !ok {
+		m.NoteFail()
+		return mm.ErrBadFree
+	}
+	if segGross, isDirect := m.direct[p]; isDirect {
+		delete(m.direct, p)
+		base := p
+		if m.tagged {
+			base = m.v.Block(p)
+		}
+		if err := m.h.Unmap(base); err != nil {
+			m.NoteFail()
+			return err
+		}
+		m.Charge(mm.CostTrim)
+		m.NoteFree(req, segGross)
+		return nil
+	}
+	var b heap.Addr
+	if m.tagged {
+		b = m.v.Block(p)
+	} else {
+		b = p
+	}
+	gross := m.sizeOf(b)
+	m.NoteFree(req, gross)
+
+	switch m.vec.CoalesceWhen {
+	case dspace.Always:
+		m.v.SetUsed(b, false)
+		if merged, size := m.coalesce(b); size >= 0 {
+			m.binFree(merged)
+		}
+		m.maybeTrim()
+	case dspace.Deferred:
+		m.deferFree(b)
+		m.frees++
+		if m.frees%m.par.CoalesceEveryN == 0 {
+			m.consolidate()
+			m.maybeTrim()
+		}
+	default: // Never
+		if m.tagged && m.hasStatus() {
+			m.v.SetUsed(b, false)
+			m.markNeighborOfFree(b, false)
+		}
+		if m.tagged {
+			m.writeNeighborInfo(b) // keep boundary tags consistent
+		}
+		m.binFree(b)
+	}
+	return nil
+}
+
+// Footprint implements mm.Manager.
+func (m *Custom) Footprint() int64 { return m.h.Footprint() }
+
+// MaxFootprint implements mm.Manager.
+func (m *Custom) MaxFootprint() int64 { return m.h.MaxFootprint() }
+
+// Reset restores the manager and its heap to the initial state.
+func (m *Custom) Reset() {
+	m.h.Reset()
+	m.pools = make(map[poolKey]*pool)
+	m.keys = nil
+	m.freeKey = make(map[heap.Addr]poolKey)
+	m.top, m.heapStart = heap.Nil, heap.Nil
+	m.phase, m.frees = 0, 0
+	if m.grossOf != nil {
+		m.grossOf = make(map[heap.Addr]int64)
+	}
+	m.direct = make(map[heap.Addr]int64)
+	m.live.Reset()
+	m.ResetStats()
+}
+
+// FreeBlocks returns the total count of blocks across all free lists
+// (excluding deferred ones), for diagnostics.
+func (m *Custom) FreeBlocks() int {
+	n := 0
+	for _, pl := range m.pools {
+		n += pl.count
+	}
+	return n
+}
+
+// CheckInvariants validates the in-band structure of tagged managers: the
+// sbrk region tiles into valid blocks and boundary info is consistent.
+// Chunk-carved heaps (no splitting) keep deliberately conservative
+// prevUsed bits at chunk boundaries, so only the tiling is checked there.
+func (m *Custom) CheckInvariants() error {
+	if !m.tagged || m.heapStart == heap.Nil || m.heapStart >= m.h.Brk() {
+		return nil
+	}
+	if !m.lay.Info.Has(block.InfoSize) {
+		return nil
+	}
+	if m.canSplit() {
+		_, err := m.v.CheckRegion(m.heapStart, m.h.Brk())
+		return err
+	}
+	return m.v.Walk(m.heapStart, m.h.Brk(), func(block.BlockInfo) error { return nil })
+}
+
+var _ mm.Manager = (*Custom)(nil)

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+)
+
+// Design is the outcome of the methodology for one behavioural phase: a
+// decision vector, its numeric parameters, and the decision log showing
+// how the trees were traversed.
+type Design struct {
+	Vector dspace.Vector
+	Params Params
+	Walk   []Step
+}
+
+// Step records one decision of the tree walk.
+type Step struct {
+	Tree    dspace.Tree
+	Leaf    dspace.Leaf
+	Allowed []dspace.Leaf // leaves compatible with earlier decisions
+	Reason  string
+}
+
+// String renders the decision log, one line per tree.
+func (d Design) String() string {
+	var b strings.Builder
+	for _, s := range d.Walk {
+		fmt.Fprintf(&b, "%-34s -> %-22s (%s)\n", s.Tree, dspace.LeafName(s.Tree, s.Leaf), s.Reason)
+	}
+	return b.String()
+}
+
+// Build constructs the atomic manager realizing the design over h.
+func (d Design) Build(h *heap.Heap) (*Custom, error) {
+	return NewCustom(h, d.Vector, d.Params)
+}
+
+// traits are the profile quantities the heuristics consult.
+type traits struct {
+	distinct int
+	cv       float64
+	minSize  int64
+	maxSize  int64
+	maxLive  int64
+}
+
+func traitsOf(p *profile.Profile) traits {
+	return traits{distinct: p.DistinctSizes, cv: p.SizeCV, minSize: p.MinSize, maxSize: p.MaxSize, maxLive: p.MaxLiveBytes}
+}
+
+func traitsOfPhase(pp profile.PhaseProfile) traits {
+	return traits{distinct: pp.DistinctSizes, cv: pp.SizeCV, minSize: pp.MinSize, maxSize: pp.MaxSize, maxLive: pp.MaxLiveBytes}
+}
+
+// fewSizes is the threshold below which a fixed set of block sizes is
+// preferred over fully variable sizes.
+const fewSizes = 4
+
+// DesignFor runs the paper's methodology on a whole-application profile,
+// producing one atomic manager design. It traverses the trees in the
+// Sec. 4.2 order — A2, A5, E2, D2, E1, D1, B4, B1, ..., C1, ..., A1, A3,
+// A4 — propagating constraints so every later decision is taken among the
+// still-coherent leaves.
+func DesignFor(p *profile.Profile) Design {
+	return designWalk(traitsOf(p), dspace.Order, p)
+}
+
+// DesignForPhase designs an atomic manager for one behavioural phase.
+func DesignForPhase(pp profile.PhaseProfile, full *profile.Profile) Design {
+	return designWalk(traitsOfPhase(pp), dspace.Order, full)
+}
+
+// WrongOrderDesign reproduces the paper's Figure 4 counter-example: the
+// block-tag trees (A3/A4) are decided FIRST, greedily saving the header
+// bytes, and the constraints propagate to forbid splitting and coalescing
+// later. The resulting manager saves a few bytes per block but cannot
+// fight fragmentation — the ablation benchmark shows the footprint cost.
+func WrongOrderDesign(p *profile.Profile) Design {
+	order := []dspace.Tree{dspace.A3BlockTags, dspace.A4RecordedInfo}
+	for _, t := range dspace.Order {
+		if t == dspace.A3BlockTags || t == dspace.A4RecordedInfo {
+			continue
+		}
+		order = append(order, t)
+	}
+	return designWalk(traitsOf(p), order, p)
+}
+
+// designWalk traverses the trees in the given order, choosing at each tree
+// the heuristic leaf if the constraints allow it and the first coherent
+// leaf otherwise.
+func designWalk(tr traits, order []dspace.Tree, p *profile.Profile) Design {
+	var v dspace.Vector
+	var decided dspace.Decided
+	var walk []Step
+	for _, tree := range order {
+		allowed := dspace.Allowed(tree, v, decided)
+		if len(allowed) == 0 {
+			// Cannot happen with the shipped rule set (tested), but keep
+			// the walk total.
+			allowed = []dspace.Leaf{0}
+		}
+		want, reason := heuristic(tree, tr, &v)
+		leaf := want
+		if !contains(allowed, want) {
+			leaf = allowed[0]
+			reason = fmt.Sprintf("constraint propagation overrode %q: %s", dspace.LeafName(tree, want), reason)
+		}
+		v.Set(tree, leaf)
+		decided[tree] = true
+		walk = append(walk, Step{Tree: tree, Leaf: leaf, Allowed: allowed, Reason: reason})
+	}
+	return Design{Vector: v, Params: deriveParams(v, tr, p), Walk: walk}
+}
+
+func contains(ls []dspace.Leaf, l dspace.Leaf) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// heuristic returns the footprint-oriented choice for a tree given the
+// profile traits and the decisions taken so far. The reasons quote the
+// paper's Sec. 4/5 arguments.
+func heuristic(tree dspace.Tree, tr traits, v *dspace.Vector) (dspace.Leaf, string) {
+	flexible := tr.distinct > fewSizes || tr.cv > 0.3
+	switch tree {
+	case dspace.A2BlockSizes:
+		switch {
+		case tr.distinct <= 1:
+			return dspace.OneBlockSize, "profile shows a single block size"
+		case tr.distinct <= fewSizes && tr.cv <= 0.3:
+			return dspace.ManyFixedSizes, "few stable sizes: fixed set prevents fragmentation"
+		default:
+			return dspace.ManyVarSizes, "blocks vary greatly in size: many sizes prevent internal fragmentation"
+		}
+	case dspace.A5FlexBlockSize:
+		if v.BlockSizes == dspace.ManyVarSizes || (v.BlockSizes == dspace.ManyFixedSizes && flexible) {
+			return dspace.SplitCoalesce, "variable sizes: invoke splitting and coalescing on demand"
+		}
+		return dspace.NoFlex, "fixed sizes need no flexible block manager"
+	case dspace.E2SplitWhen:
+		if v.Flex == dspace.SplitOnly || v.Flex == dspace.SplitCoalesce {
+			return dspace.Always, "defragment as soon as fragmentation occurs"
+		}
+		return dspace.Never, "no splitting mechanism selected"
+	case dspace.D2CoalesceWhen:
+		if v.Flex == dspace.CoalesceOnly || v.Flex == dspace.SplitCoalesce {
+			return dspace.Always, "defragment as soon as fragmentation occurs"
+		}
+		return dspace.Never, "no coalescing mechanism selected"
+	case dspace.E1MinBlockSizes:
+		if v.SplitWhen != dspace.Never {
+			return dspace.ManyNotFixed, "maximum effect of splitting: do not limit produced sizes"
+		}
+		return dspace.OneResultSize, "degenerate without splitting"
+	case dspace.D1MaxBlockSizes:
+		if v.CoalesceWhen != dspace.Never {
+			return dspace.ManyNotFixed, "maximum effect of coalescing: do not limit produced sizes"
+		}
+		return dspace.OneResultSize, "degenerate without coalescing"
+	case dspace.B4PoolRange:
+		switch {
+		case v.BlockSizes == dspace.OneBlockSize:
+			return dspace.FixedSizePerPool, "one block size: one fixed-size pool"
+		case v.Flex == dspace.SplitCoalesce || v.Flex == dspace.SplitOnly:
+			return dspace.AnyRange, "split+coalesce make size classes unnecessary"
+		case v.BlockSizes == dspace.ManyFixedSizes:
+			return dspace.FixedSizePerPool, "fixed sizes: one pool per size avoids fragmentation"
+		default:
+			return dspace.ExactClasses, "exact classes track the observed sizes"
+		}
+	case dspace.B1PoolDivision:
+		if v.PoolRange == dspace.AnyRange {
+			return dspace.SinglePool, "simplest pool implementation possible: single pool"
+		}
+		return dspace.PoolPerClass, "pools follow the size classes"
+	case dspace.B2PoolStruct:
+		return dspace.PoolArray, "direct-indexed pool table costs no extra footprint"
+	case dspace.B3PoolPhase:
+		return dspace.SharedPools, "phases are handled by the global manager composition"
+	case dspace.C1Fit:
+		if v.PoolRange == dspace.AnyRange {
+			return dspace.ExactFit, "exact fit avoids memory lost in internal fragmentation"
+		}
+		return dspace.FirstFit, "blocks in a class pool are interchangeable"
+	case dspace.C2FreeOrder:
+		return dspace.LIFOOrder, "LIFO insertion is cheapest and cache-friendly"
+	case dspace.A1BlockStructure:
+		if v.CoalesceWhen != dspace.Never {
+			return dspace.DoublyLinked, "simplest DDT that allows coalescing and splitting"
+		}
+		return dspace.SinglyLinked, "simplest DDT; no unlinking by address needed"
+	case dspace.A3BlockTags:
+		if v.SplitWhen != dspace.Never || v.CoalesceWhen != dspace.Never {
+			return dspace.HeaderTag, "header accommodates size and status for split/coalesce"
+		}
+		return dspace.NoTags, "fixed-size pools make per-block tags unnecessary"
+	case dspace.A4RecordedInfo:
+		if v.BlockTags == dspace.NoTags {
+			return dspace.RecordNone, "no tags reserved"
+		}
+		if v.CoalesceWhen != dspace.Never {
+			return dspace.RecordSizeStatusPrev, "size and status of each block, plus neighbour size for backward merges"
+		}
+		return dspace.RecordSize, "size suffices without coalescing"
+	}
+	return 0, "default"
+}
+
+// deriveParams fixes the run-time-dependent numeric decisions from the
+// profile (the simulation-tuned part of the methodology, Sec. 5).
+func deriveParams(v dspace.Vector, tr traits, p *profile.Profile) Params {
+	var par Params
+	lay := layoutFor(v)
+	if v.BlockSizes != dspace.ManyVarSizes || v.PoolRange == dspace.FixedSizePerPool {
+		// Class sizes: the observed sizes (gross), capped at 32 classes.
+		seen := map[int64]bool{}
+		var classes []int64
+		for _, s := range sizesFromProfile(p, tr) {
+			g := lay.GrossFor(s)
+			if !seen[g] {
+				seen[g] = true
+				classes = append(classes, g)
+			}
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		if len(classes) > 32 {
+			classes = pow2Classes(classes[0], classes[len(classes)-1])
+		}
+		par.ClassSizes = classes
+	}
+	// Footprint-greedy trimming: return coalesced wilderness early.
+	par.TrimThreshold = 4096
+	if tr.maxLive > 0 {
+		if th := tr.maxLive / 16; th > par.TrimThreshold {
+			par.TrimThreshold = th
+		}
+		if par.TrimThreshold > 64<<10 {
+			par.TrimThreshold = 64 << 10
+		}
+	}
+	// Huge, rare blocks get a dedicated direct pool so their memory
+	// returns to the system immediately.
+	if tr.maxSize >= 64<<10 {
+		par.DirectThreshold = 64 << 10
+	}
+	return par
+}
+
+func sizesFromProfile(p *profile.Profile, tr traits) []int64 {
+	if p != nil && len(p.Sizes) > 0 {
+		out := make([]int64, 0, len(p.Sizes))
+		for _, s := range p.Sizes {
+			out = append(out, s.Size)
+		}
+		return out
+	}
+	// No profile (direct API use): span the trait range with pow2.
+	return pow2Classes(tr.minSize, tr.maxSize)
+}
+
+func pow2Classes(lo, hi int64) []int64 {
+	if lo < 16 {
+		lo = 16
+	}
+	if hi < lo {
+		hi = lo
+	}
+	var out []int64
+	for s := pow2ceil(lo); s < hi*2 && s <= 1<<26; s <<= 1 {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// Candidate is one evaluated point of the design space.
+type Candidate struct {
+	Vector       dspace.Vector
+	Params       Params
+	MaxFootprint int64
+	Work         int64
+	Designed     bool // produced by the methodology (not enumeration)
+	Err          error
+}
+
+// ExploreOpts configures a design-space exploration run.
+type ExploreOpts struct {
+	// MaxCandidates caps how many enumerated vectors are evaluated
+	// (default 128). The valid space has ~144k points; evaluation
+	// samples it with a uniform stride.
+	MaxCandidates int
+	// IncludeDesigned additionally evaluates the methodology's design,
+	// marking it in the result (default behaviour of Explore).
+	IncludeDesigned bool
+}
+
+// Explore evaluates a uniform sample of the valid design space against a
+// trace, returning every candidate with its measured footprint and work.
+// It demonstrates what the paper's Sec. 3 claims: the space contains both
+// the general-purpose managers and far better custom points, and
+// exhaustive search is feasible once constraints prune the space.
+func Explore(tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 128
+	}
+	prof := profile.FromTrace(tr)
+
+	total := dspace.Enumerate(func(dspace.Vector) bool { return true })
+	stride := total / opts.MaxCandidates
+	if stride < 1 {
+		stride = 1
+	}
+	var vectors []dspace.Vector
+	i := 0
+	dspace.Enumerate(func(v dspace.Vector) bool {
+		if i%stride == 0 {
+			vectors = append(vectors, v)
+		}
+		i++
+		return true
+	})
+
+	tr2 := traitsOf(prof)
+	var out []Candidate
+	for _, v := range vectors {
+		out = append(out, evaluate(v, deriveParams(v, tr2, prof), tr, false))
+	}
+	if opts.IncludeDesigned {
+		d := DesignFor(prof)
+		out = append(out, evaluate(d.Vector, d.Params, tr, true))
+	}
+	return out, nil
+}
+
+func evaluate(v dspace.Vector, par Params, tr *trace.Trace, designed bool) Candidate {
+	c := Candidate{Vector: v, Params: par, Designed: designed}
+	m, err := NewCustom(heap.New(heap.Config{}), v, par)
+	if err != nil {
+		c.Err = fmt.Errorf("core: building candidate: %w", err)
+		return c
+	}
+	res, err := trace.Run(m, tr, trace.RunOpts{})
+	if err != nil {
+		c.Err = fmt.Errorf("core: replaying candidate: %w", err)
+		return c
+	}
+	c.MaxFootprint = res.MaxFootprint
+	c.Work = int64(res.Work)
+	return c
+}
+
+// ParetoFront returns the candidates not dominated in (footprint, work),
+// sorted by footprint. Failed candidates are excluded.
+func ParetoFront(cands []Candidate) []Candidate {
+	var ok []Candidate
+	for _, c := range cands {
+		if c.Err == nil {
+			ok = append(ok, c)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].MaxFootprint != ok[j].MaxFootprint {
+			return ok[i].MaxFootprint < ok[j].MaxFootprint
+		}
+		return ok[i].Work < ok[j].Work
+	})
+	var front []Candidate
+	bestWork := int64(1<<62 - 1)
+	for _, c := range ok {
+		if c.Work < bestWork {
+			front = append(front, c)
+			bestWork = c.Work
+		}
+	}
+	return front
+}
+
+// BestByFootprint returns the successful candidate with the smallest
+// footprint, breaking ties by work. ok is false when every candidate
+// failed.
+func BestByFootprint(cands []Candidate) (Candidate, bool) {
+	var best Candidate
+	found := false
+	for _, c := range cands {
+		if c.Err != nil {
+			continue
+		}
+		if !found || c.MaxFootprint < best.MaxFootprint ||
+			(c.MaxFootprint == best.MaxFootprint && c.Work < best.Work) {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"dmmkit/internal/trace"
+)
+
+func exploreTrace() *trace.Trace {
+	b := trace.NewBuilder("explore")
+	var q []int64
+	sizes := []int64{40, 560, 1200, 96}
+	for i := 0; i < 1500; i++ {
+		if i%3 != 0 || len(q) == 0 {
+			q = append(q, b.Alloc(sizes[i%len(sizes)], 0))
+		} else {
+			b.Free(q[0])
+			q = q[1:]
+		}
+	}
+	for _, id := range q {
+		b.Free(id)
+	}
+	return b.Build()
+}
+
+func TestExploreEvaluatesCandidates(t *testing.T) {
+	tr := exploreTrace()
+	cands, err := Explore(tr, ExploreOpts{MaxCandidates: 16, IncludeDesigned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 16 {
+		t.Fatalf("evaluated only %d candidates", len(cands))
+	}
+	designed := 0
+	for _, c := range cands {
+		if c.Designed {
+			designed++
+			if c.Err != nil {
+				t.Errorf("designed candidate failed: %v", c.Err)
+			}
+		}
+		if c.Err == nil && c.MaxFootprint < tr.MaxLiveBytes() {
+			t.Errorf("candidate footprint %d below live bound %d", c.MaxFootprint, tr.MaxLiveBytes())
+		}
+	}
+	if designed != 1 {
+		t.Errorf("got %d designed candidates, want 1", designed)
+	}
+}
+
+func TestParetoFrontIsMonotone(t *testing.T) {
+	tr := exploreTrace()
+	cands, err := Explore(tr, ExploreOpts{MaxCandidates: 24, IncludeDesigned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(cands)
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].MaxFootprint < front[i-1].MaxFootprint {
+			t.Error("front not sorted by footprint")
+		}
+		if front[i].Work >= front[i-1].Work {
+			t.Error("front not strictly improving in work")
+		}
+	}
+	// No candidate may dominate a front member.
+	for _, f := range front {
+		for _, c := range cands {
+			if c.Err == nil && c.MaxFootprint < f.MaxFootprint && c.Work < f.Work {
+				t.Errorf("front member (%d,%d) dominated by (%d,%d)",
+					f.MaxFootprint, f.Work, c.MaxFootprint, c.Work)
+			}
+		}
+	}
+}
+
+func TestDesignedNearBestInSample(t *testing.T) {
+	tr := exploreTrace()
+	cands, err := Explore(tr, ExploreOpts{MaxCandidates: 48, IncludeDesigned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := BestByFootprint(cands)
+	if !ok {
+		t.Fatal("no successful candidates")
+	}
+	var designed Candidate
+	for _, c := range cands {
+		if c.Designed {
+			designed = c
+		}
+	}
+	// The methodology's design must be within 25% of the sampled optimum
+	// (the paper's claim: the ordered walk reaches the right region
+	// without exhaustive search).
+	if float64(designed.MaxFootprint) > 1.25*float64(best.MaxFootprint) {
+		t.Errorf("designed footprint %d far above sample best %d", designed.MaxFootprint, best.MaxFootprint)
+	}
+}
+
+func TestBestByFootprintEmpty(t *testing.T) {
+	if _, ok := BestByFootprint(nil); ok {
+		t.Error("BestByFootprint on empty slice returned ok")
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"dmmkit/internal/block"
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+)
+
+// This file implements the A5 flexible-block-size mechanisms — splitting
+// (category E) and coalescing (category D) — plus the wilderness chunk and
+// system trimming used by variable-size managers.
+
+// maySplit reports whether policy E2/E1 allows splitting a block of size
+// have to satisfy want, i.e. whether the remainder is an allowed result
+// size.
+func (m *Custom) maySplit(have, want int64) bool {
+	if m.vec.SplitWhen == dspace.Never {
+		return false
+	}
+	rem := have - want
+	min := m.lay.MinBlock()
+	if rem < min {
+		return false
+	}
+	if m.vec.SplitWhen == dspace.Deferred && rem < m.par.DeferredSplitMin {
+		return false
+	}
+	switch m.vec.MinBlockSizes {
+	case dspace.OneResultSize:
+		// Only one remainder size is allowed: the smallest class (or the
+		// minimum block when unclassed).
+		allowed := min
+		if len(m.par.ClassSizes) > 0 {
+			allowed = m.par.ClassSizes[0]
+		}
+		return rem == allowed
+	case dspace.ManyFixedSet:
+		return m.isClassSize(rem)
+	default: // ManyNotFixed
+		return true
+	}
+}
+
+// split carves free block b (not in any list) into a want-byte prefix and
+// a free remainder, which is binned. Returns the prefix (== b).
+func (m *Custom) split(b heap.Addr, want int64) heap.Addr {
+	have := m.v.Size(b)
+	rem := b + heap.Addr(want)
+	m.v.SetHeader(b, want, false, m.prevUsedBit(b))
+	m.writeNeighborInfo(b)
+	m.v.SetHeader(rem, have-want, false, true)
+	m.writeNeighborInfo(rem)
+	m.NoteSplit()
+	m.binFree(rem)
+	return b
+}
+
+// mayCoalesce reports whether policy D1 allows a merge producing result
+// bytes.
+func (m *Custom) mayCoalesce(result int64) bool {
+	switch m.vec.MaxBlockSizes {
+	case dspace.OneResultSize:
+		return result <= m.par.MaxCoalesceSize
+	case dspace.ManyFixedSet:
+		return m.isClassSize(result)
+	default:
+		return true
+	}
+}
+
+// coalesce merges block b (free, not in any list) with free physical
+// neighbours where policy permits, returning the merged block address and
+// size. The caller insert/returns the result.
+func (m *Custom) coalesce(b heap.Addr) (heap.Addr, int64) {
+	size := m.v.Size(b)
+	// Backward merge.
+	for {
+		prev, ok := m.prevNeighbor(b)
+		if !ok || m.v.Used(prev) || prev == m.top {
+			break
+		}
+		merged := m.v.Size(prev) + size
+		if !m.mayCoalesce(merged) {
+			break
+		}
+		m.unlinkKnownFree(prev)
+		b, size = prev, merged
+		m.v.SetHeader(b, size, false, m.prevUsedBit(b))
+		m.NoteCoalesce()
+	}
+	// Forward merge.
+	for {
+		next := b + heap.Addr(size)
+		if next >= m.h.Brk() || next == m.top {
+			break
+		}
+		if m.v.Used(next) {
+			break
+		}
+		merged := size + m.v.Size(next)
+		if !m.mayCoalesce(merged) {
+			break
+		}
+		m.unlinkKnownFree(next)
+		size = merged
+		m.v.SetHeader(b, size, false, m.prevUsedBit(b))
+		m.NoteCoalesce()
+	}
+	// Merge into the wilderness when adjacent.
+	if m.top != heap.Nil && b+heap.Addr(size) == m.top {
+		size += m.v.Size(m.top)
+		m.setTop(b, size, m.prevUsedBit(b))
+		m.NoteCoalesce()
+		return b, -1 // absorbed by top: nothing to bin
+	}
+	m.v.SetHeader(b, size, false, m.prevUsedBit(b))
+	m.writeNeighborInfo(b)
+	m.markNeighborOfFree(b, false)
+	m.Charge(mm.CostHeader)
+	return b, size
+}
+
+// prevNeighbor locates the previous physical block when it is known to be
+// free, using whatever backward information the layout provides: a footer
+// (A3=header+footer, valid only on free blocks) or a prev-size header
+// field (A4 includes prevsize). ok is false when b is the first managed
+// block, the previous block is in use, or the layout lacks backward info.
+func (m *Custom) prevNeighbor(b heap.Addr) (heap.Addr, bool) {
+	if b == m.heapStart || b == heap.Nil {
+		return heap.Nil, false
+	}
+	if m.hasStatus() && m.v.PrevUsed(b) {
+		return heap.Nil, false
+	}
+	var ps int64
+	switch {
+	case m.lay.Tags == block.TagsBoth:
+		ps = m.v.PrevFooterSize(b)
+	case m.hasPrevSize():
+		ps = m.v.PrevSizeField(b)
+	default:
+		return heap.Nil, false
+	}
+	if ps <= 0 || heap.Addr(ps) > b-m.heapStart {
+		return heap.Nil, false
+	}
+	return b - heap.Addr(ps), true
+}
+
+// prevUsedBit reads the prevUsed bit when the layout records status; it
+// defaults to true otherwise (preventing spurious merges).
+func (m *Custom) prevUsedBit(b heap.Addr) bool {
+	if !m.hasStatus() {
+		return true
+	}
+	return m.v.PrevUsed(b)
+}
+
+// writeNeighborInfo maintains the backward-coalescing info for the block
+// after b: the footer of b (when free, footer layouts) and/or the
+// prev-size field of the next block (prev-size layouts).
+func (m *Custom) writeNeighborInfo(b heap.Addr) {
+	size := m.v.Size(b)
+	if m.lay.Tags == block.TagsBoth {
+		m.v.WriteFooter(b)
+		m.Charge(mm.CostHeader)
+	}
+	next := b + heap.Addr(size)
+	if next < m.h.Brk() && m.hasPrevSize() {
+		m.v.SetPrevSize(next, size)
+		m.Charge(mm.CostHeader)
+	}
+}
+
+// markNeighborOfFree updates the next neighbour's prevUsed bit after b
+// changes status.
+func (m *Custom) markNeighborOfFree(b heap.Addr, used bool) {
+	if !m.hasStatus() {
+		return
+	}
+	next := b + heap.Addr(m.v.Size(b))
+	if next < m.h.Brk() {
+		m.v.SetPrevUsed(next, used)
+		m.Charge(mm.CostHeader)
+	}
+}
+
+// binFree inserts free block b into the pool for its size and phase.
+func (m *Custom) binFree(b heap.Addr) {
+	gross := m.sizeOf(b)
+	k := m.keyFor(m.phaseOf(b), m.floorClass(gross))
+	pl := m.poolFor(k)
+	m.insertFree(pl, b)
+	m.freeKey[b] = k
+}
+
+// setTop installs the wilderness chunk at b with the given size, keeping
+// its header (and footer, for boundary-tag layouts) consistent.
+func (m *Custom) setTop(b heap.Addr, size int64, prevUsed bool) {
+	m.top = b
+	m.v.SetHeader(b, size, false, prevUsed)
+	if m.lay.Tags == block.TagsBoth {
+		m.v.WriteFooter(b)
+	}
+	m.Charge(mm.CostHeader)
+}
+
+// carveTop satisfies gross bytes from the wilderness, extending the break
+// as needed. Only variable-range managers use a wilderness.
+func (m *Custom) carveTop(gross int64) (heap.Addr, error) {
+	min := m.lay.MinBlock()
+	if m.topSize() < gross+min {
+		need := gross + min - m.topSize() + m.par.TopPad
+		start, err := m.h.Sbrk(need)
+		if err != nil {
+			return heap.Nil, err
+		}
+		m.Charge(mm.CostSbrk)
+		if m.top == heap.Nil {
+			if m.heapStart == heap.Nil {
+				m.heapStart = start
+			}
+			m.setTop(start, int64(m.h.Brk()-start), true)
+		} else {
+			m.setTop(m.top, int64(m.h.Brk()-m.top), m.prevUsedBit(m.top))
+		}
+	}
+	b := m.top
+	prevUsed := m.prevUsedBit(m.top)
+	topSize := m.v.Size(m.top)
+	m.setTop(b+heap.Addr(gross), topSize-gross, true)
+	m.v.SetHeader(b, gross, false, prevUsed)
+	m.Charge(mm.CostHeader)
+	return b, nil
+}
+
+func (m *Custom) topSize() int64 {
+	if m.top == heap.Nil {
+		return 0
+	}
+	return m.v.Size(m.top)
+}
+
+// maybeTrim returns the tail of an oversized wilderness to the system —
+// the paper's "when large coalesced chunks of memory are not used, they
+// are returned back to the system".
+func (m *Custom) maybeTrim() {
+	if m.top == heap.Nil {
+		return
+	}
+	size := m.v.Size(m.top)
+	if size < m.par.TrimThreshold {
+		return
+	}
+	keep := m.lay.MinBlock()
+	release := (size - keep) &^ (heap.Align - 1)
+	if release <= 0 {
+		return
+	}
+	if err := m.h.ShrinkBrk(release); err != nil {
+		return
+	}
+	m.Charge(mm.CostTrim)
+	m.setTop(m.top, size-release, m.prevUsedBit(m.top))
+}
+
+// deferFree pushes b onto its pool's deferred list (used bit kept set so
+// neighbours skip it until consolidation).
+func (m *Custom) deferFree(b heap.Addr) {
+	gross := m.v.Size(b)
+	pl := m.poolFor(m.keyFor(m.phaseOf(b), m.floorClass(gross)))
+	m.setNextFree(b, pl.deferred)
+	pl.deferred = b
+	pl.nDeferred++
+	m.Charge(mm.CostLink)
+}
+
+// consolidate drains every deferred list, coalescing each block and
+// binning the results (dlmalloc's malloc_consolidate generalized to the
+// D2=deferred leaf).
+func (m *Custom) consolidate() {
+	keys := append([]poolKey(nil), m.keys...) // coalescing may add pools
+	for _, k := range keys {
+		pl := m.pools[k]
+		for b := pl.deferred; b != heap.Nil; {
+			next := m.nextFree(b)
+			m.Charge(mm.CostProbe)
+			m.v.SetUsed(b, false)
+			if merged, size := m.coalesce(b); size >= 0 {
+				m.binFree(merged)
+			}
+			b = next
+		}
+		pl.deferred = heap.Nil
+		pl.nDeferred = 0
+	}
+}

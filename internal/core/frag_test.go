@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+)
+
+func TestFragmentationReportCompactHeap(t *testing.T) {
+	m := mustNew(t, drrVector(), Params{})
+	var ps []heap.Addr
+	for i := 0; i < 10; i++ {
+		p, err := m.Alloc(mm.Request{Size: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	r := m.Fragmentation()
+	if r.LiveBlocks != 10 || r.LivePayload != 5000 {
+		t.Errorf("live accounting: %+v", r)
+	}
+	if r.Overhead != 10*8 { // header (size+prevsize) per live block
+		t.Errorf("Overhead = %d, want 80", r.Overhead)
+	}
+	for _, p := range ps {
+		_ = m.Free(p)
+	}
+	r = m.Fragmentation()
+	if r.LiveBlocks != 0 {
+		t.Errorf("LiveBlocks = %d after drain", r.LiveBlocks)
+	}
+	// Everything coalesced: at most the wilderness remains free.
+	if r.ExternalIndex > 0.01 {
+		t.Errorf("ExternalIndex = %.2f on a fully coalesced heap", r.ExternalIndex)
+	}
+}
+
+func TestFragmentationDetectsScatteredFree(t *testing.T) {
+	vec := drrVector()
+	vec.Flex = 0 // NoFlex
+	vec.SplitWhen = 0
+	vec.CoalesceWhen = 0
+	vec.MinBlockSizes = 0
+	vec.MaxBlockSizes = 0
+	m := mustNew(t, vec, Params{})
+	// Alternate live/free blocks: high external fragmentation.
+	var frees []heap.Addr
+	for i := 0; i < 20; i++ {
+		p, err := m.Alloc(mm.Request{Size: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			frees = append(frees, p)
+		}
+	}
+	for _, p := range frees {
+		if err := m.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := m.Fragmentation()
+	if r.FreeBlocks < 9 {
+		t.Fatalf("FreeBlocks = %d, want ~10 scattered", r.FreeBlocks)
+	}
+	if r.ExternalIndex < 0.5 {
+		t.Errorf("ExternalIndex = %.2f, want high for checkerboard frees", r.ExternalIndex)
+	}
+	if !strings.Contains(r.String(), "free blocks") {
+		t.Error("String() missing content")
+	}
+}
+
+func TestFragmentationUntaggedIsPartial(t *testing.T) {
+	m := mustNew(t, partitionVector(), Params{})
+	if _, err := m.Alloc(mm.Request{Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Fragmentation()
+	if r.HeapBytes == 0 || r.LiveBlocks != 1 {
+		t.Errorf("untagged report: %+v", r)
+	}
+	if r.FreeBlocks != 0 {
+		t.Errorf("untagged report walked the heap: %+v", r)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+)
+
+// Global is the paper's global DM manager (Sec. 3.3): the composition of
+// one atomic manager per behavioural phase. Each atomic manager owns its
+// own simulated heap, so Global hands out opaque handles and routes frees
+// back to the owning manager; its footprint is the sum over the atomic
+// heaps, with the high-water mark taken over that sum (not the sum of
+// individual high-water marks, which would overestimate).
+type Global struct {
+	name    string
+	byPhase map[int]mm.Manager
+	order   []int // sorted phases, for deterministic reporting
+
+	handles    map[heap.Addr]handleInfo
+	nextHandle heap.Addr
+
+	maxFootprint int64
+	failed       int64
+}
+
+type handleInfo struct {
+	mgr  mm.Manager
+	real heap.Addr
+}
+
+// NewGlobal composes a global manager from per-phase atomic managers.
+// Requests whose phase has no dedicated manager fall back to the lowest
+// phase's manager.
+func NewGlobal(name string, byPhase map[int]mm.Manager) (*Global, error) {
+	if len(byPhase) == 0 {
+		return nil, fmt.Errorf("core: global manager needs at least one atomic manager")
+	}
+	g := &Global{
+		name:       name,
+		byPhase:    byPhase,
+		handles:    make(map[heap.Addr]handleInfo),
+		nextHandle: 8,
+	}
+	for ph := range byPhase {
+		g.order = append(g.order, ph)
+	}
+	sort.Ints(g.order)
+	return g, nil
+}
+
+// BuildGlobal designs and constructs a global manager for a profiled
+// application: one atomic custom manager per phase found in the profile
+// (an application with a single phase gets a single atomic manager).
+//
+// Per-phase atomic managers assume the phases are memory-disjoint: a
+// block allocated in one phase is freed in the same phase, so each atomic
+// manager's pool set can be reasoned about locally (Sec. 3.3 applies the
+// methodology "to each of these different phases separately"). When the
+// profile shows substantial cross-phase lifetimes, the phases share
+// memory and a single atomic manager designed on the union behaviour is
+// used instead — splitting the heap would strand freed memory in one
+// phase's pools while another phase allocates.
+func BuildGlobal(name string, p *profile.Profile) (*Global, map[int]Design, error) {
+	designs := make(map[int]Design)
+	mgrs := make(map[int]mm.Manager)
+	crossPhase := p.Frees > 0 && float64(p.CrossPhaseFrees) > 0.01*float64(p.Frees)
+	if len(p.Phases) <= 1 || crossPhase {
+		d := DesignFor(p)
+		m, err := d.Build(heap.New(heap.Config{}))
+		if err != nil {
+			return nil, nil, err
+		}
+		m.SetName(name)
+		designs[0] = d
+		mgrs[0] = m
+		g, err := NewGlobal(name, mgrs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, designs, nil
+	}
+	for _, pp := range p.Phases {
+		d := DesignForPhase(pp, p)
+		m, err := d.Build(heap.New(heap.Config{}))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: building phase %d manager: %w", pp.Phase, err)
+		}
+		m.SetName(fmt.Sprintf("%s/phase%d", name, pp.Phase))
+		designs[pp.Phase] = d
+		mgrs[pp.Phase] = m
+	}
+	g, err := NewGlobal(name, mgrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, designs, nil
+}
+
+// Name implements mm.Manager.
+func (g *Global) Name() string { return g.name }
+
+// managerFor returns the atomic manager for a phase, falling back to the
+// lowest phase.
+func (g *Global) managerFor(phase int) mm.Manager {
+	if m, ok := g.byPhase[phase]; ok {
+		return m
+	}
+	return g.byPhase[g.order[0]]
+}
+
+// Alloc implements mm.Manager. The returned address is an opaque handle.
+func (g *Global) Alloc(req mm.Request) (heap.Addr, error) {
+	m := g.managerFor(req.Phase)
+	p, err := m.Alloc(req)
+	if err != nil {
+		g.failed++
+		return heap.Nil, err
+	}
+	h := g.nextHandle
+	g.nextHandle += 8
+	g.handles[h] = handleInfo{mgr: m, real: p}
+	g.bump()
+	return h, nil
+}
+
+// Free implements mm.Manager.
+func (g *Global) Free(h heap.Addr) error {
+	hi, ok := g.handles[h]
+	if !ok {
+		g.failed++
+		return mm.ErrBadFree
+	}
+	delete(g.handles, h)
+	if err := hi.mgr.Free(hi.real); err != nil {
+		g.failed++
+		return err
+	}
+	g.bump()
+	return nil
+}
+
+func (g *Global) bump() {
+	if f := g.Footprint(); f > g.maxFootprint {
+		g.maxFootprint = f
+	}
+}
+
+// Footprint implements mm.Manager: the sum over atomic managers.
+func (g *Global) Footprint() int64 {
+	var sum int64
+	for _, ph := range g.order {
+		sum += g.byPhase[ph].Footprint()
+	}
+	return sum
+}
+
+// MaxFootprint implements mm.Manager: the high-water mark of the summed
+// footprint.
+func (g *Global) MaxFootprint() int64 { return g.maxFootprint }
+
+// Stats implements mm.Manager by aggregating the atomic managers.
+func (g *Global) Stats() mm.Stats {
+	var s mm.Stats
+	for _, ph := range g.order {
+		as := g.byPhase[ph].Stats()
+		s.Allocs += as.Allocs
+		s.Frees += as.Frees
+		s.FailedOps += as.FailedOps
+		s.LiveBytes += as.LiveBytes
+		s.LiveBlocks += as.LiveBlocks
+		s.GrossLive += as.GrossLive
+		s.Splits += as.Splits
+		s.Coalesces += as.Coalesces
+		s.Work += as.Work
+		s.MaxLive += as.MaxLive // upper bound; see doc comment
+	}
+	s.FailedOps += g.failed
+	return s
+}
+
+// Atomic returns the per-phase manager for inspection.
+func (g *Global) Atomic(phase int) mm.Manager { return g.byPhase[phase] }
+
+// Phases returns the phases with dedicated atomic managers, ascending.
+func (g *Global) Phases() []int { return append([]int(nil), g.order...) }
+
+// Reset restores every atomic manager and the handle table.
+func (g *Global) Reset() {
+	for _, m := range g.byPhase {
+		if r, ok := m.(mm.Resetter); ok {
+			r.Reset()
+		}
+	}
+	g.handles = make(map[heap.Addr]handleInfo)
+	g.nextHandle = 8
+	g.maxFootprint = 0
+	g.failed = 0
+}
+
+var _ mm.Manager = (*Global)(nil)

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+)
+
+// Fault injection: managers built on a limited heap must surface
+// ErrOutOfMemory cleanly, keep consistent accounting, and continue to
+// operate within the remaining memory.
+
+func limitedManagers(t *testing.T, limit int64) map[string]mm.Manager {
+	t.Helper()
+	out := make(map[string]mm.Manager)
+	for name, vec := range map[string]dspace.Vector{
+		"drr-custom":    drrVector(),
+		"lea-like":      leaLikeVector(),
+		"kingsley-like": kingsleyLikeVector(),
+		"partition":     partitionVector(),
+	} {
+		m, err := NewCustom(heap.New(heap.Config{Limit: limit}), vec, Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = m
+	}
+	return out
+}
+
+func TestOOMSurfacesCleanly(t *testing.T) {
+	for name, m := range limitedManagers(t, 64<<10) {
+		var ps []heap.Addr
+		var err error
+		for i := 0; i < 100000; i++ {
+			var p heap.Addr
+			p, err = m.Alloc(mm.Request{Size: 1024})
+			if err != nil {
+				break
+			}
+			ps = append(ps, p)
+		}
+		if err == nil {
+			t.Fatalf("%s: limited heap never ran out", name)
+		}
+		if !errors.Is(err, mm.ErrOutOfMemory) {
+			t.Fatalf("%s: err = %v, want ErrOutOfMemory", name, err)
+		}
+		if m.Stats().FailedOps == 0 {
+			t.Errorf("%s: failed op not recorded", name)
+		}
+		// The manager must still work: free one block, then a request of
+		// the same size must be satisfiable from the freed memory (rigid
+		// class policies cannot reuse it for other sizes, so the request
+		// mirrors the freed block).
+		if len(ps) == 0 {
+			t.Fatalf("%s: nothing allocated before OOM", name)
+		}
+		if err := m.Free(ps[0]); err != nil {
+			t.Fatalf("%s: free after OOM: %v", name, err)
+		}
+		if _, err := m.Alloc(mm.Request{Size: 1024}); err != nil {
+			t.Errorf("%s: alloc after free post-OOM failed: %v", name, err)
+		}
+	}
+}
+
+func TestOOMThenFullDrainRecovers(t *testing.T) {
+	m, err := NewCustom(heap.New(heap.Config{Limit: 32 << 10}), drrVector(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var live []heap.Addr
+	ooms := 0
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(2) == 0 {
+			p, err := m.Alloc(mm.Request{Size: rng.Int63n(2000) + 1})
+			if err != nil {
+				if !errors.Is(err, mm.ErrOutOfMemory) {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				ooms++
+			} else {
+				live = append(live, p)
+			}
+		} else if len(live) > 0 {
+			j := rng.Intn(len(live))
+			if err := m.Free(live[j]); err != nil {
+				t.Fatalf("op %d: free: %v", i, err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	if ooms == 0 {
+		t.Error("limited heap never hit OOM during churn")
+	}
+	for _, p := range live {
+		if err := m.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats().LiveBytes; got != 0 {
+		t.Errorf("LiveBytes = %d after drain", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Errorf("invariants after OOM churn: %v", err)
+	}
+}
+
+func TestGlobalPropagatesOOM(t *testing.T) {
+	m0, err := NewCustom(heap.New(heap.Config{Limit: 16 << 10}), drrVector(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGlobal("G", map[int]mm.Manager{0: m0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 1000; i++ {
+		if _, lastErr = g.Alloc(mm.Request{Size: 1024}); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, mm.ErrOutOfMemory) {
+		t.Errorf("global OOM err = %v", lastErr)
+	}
+	if g.Stats().FailedOps == 0 {
+		t.Error("global did not record the failure")
+	}
+}

@@ -1,0 +1,92 @@
+// Package core implements the paper's primary contribution: custom dynamic
+// memory managers composed from the DM-management design space of Atienza
+// et al. (DATE 2004).
+//
+// A core.Custom manager is built from one dspace.Vector — one leaf per
+// orthogonal decision tree — plus numeric Params that the methodology
+// derives from the application profile ("those decisions of the final
+// custom DM manager that depend on its particular run-time behaviour",
+// Sec. 5). The same engine therefore realizes Kingsley-like,
+// Lea-like, region-like and the paper's custom managers, differing only in
+// the decision vector, which is exactly the premise of the design space.
+//
+// The Designer type implements the Sec. 4 methodology: it walks the trees
+// in the published order, applying the footprint heuristics and constraint
+// propagation to produce a vector (and params) from a profile. The
+// GlobalManager composes per-phase atomic managers (Sec. 3.3).
+package core
+
+import "dmmkit/internal/dspace"
+
+// Params are the numeric choices accompanying a decision vector. Zero
+// values select documented defaults.
+type Params struct {
+	// ClassSizes lists the fixed gross block sizes when A2=many-fixed or
+	// B4=fixed-size pools. Must be ascending. Defaults to pow2 from 16
+	// to 64 KiB when required but empty.
+	ClassSizes []int64
+
+	// ChunkBytes is the sbrk granularity for class pools (default 4096).
+	ChunkBytes int64
+
+	// TrimThreshold returns the wilderness tail to the system when it
+	// exceeds this size (default 4096; the paper's custom managers
+	// return unused coalesced chunks to the system).
+	TrimThreshold int64
+
+	// TopPad is extra slack requested when extending the wilderness
+	// (default 0: footprint-greedy).
+	TopPad int64
+
+	// CoalesceEveryN runs the deferred coalescing pass after this many
+	// frees when D2=deferred (default 32).
+	CoalesceEveryN int
+
+	// DeferredSplitMin only splits remainders at least this large when
+	// E2=deferred (default 256).
+	DeferredSplitMin int64
+
+	// MaxCoalesceSize caps coalescing results when D1=one (default 1
+	// MiB).
+	MaxCoalesceSize int64
+
+	// DirectThreshold, when > 0, serves requests at least this large
+	// with dedicated system segments (a designed large-block pool
+	// division; used when the profile shows huge rare blocks).
+	DirectThreshold int64
+
+	// MaxProbes bounds every free-list search (default 64). Bounded
+	// search is standard practice in embedded allocators: a search that
+	// exhausts the budget gives up and takes the best candidate seen (or
+	// fresh memory), trading a little footprint for a hard latency
+	// bound — how the paper's custom managers stay within ~10% of
+	// Kingsley's execution time.
+	MaxProbes int
+}
+
+func (p *Params) defaults(vec dspace.Vector) {
+	if p.ChunkBytes == 0 {
+		p.ChunkBytes = 4096
+	}
+	if p.TrimThreshold == 0 {
+		p.TrimThreshold = 4096
+	}
+	if p.CoalesceEveryN == 0 {
+		p.CoalesceEveryN = 32
+	}
+	if p.DeferredSplitMin == 0 {
+		p.DeferredSplitMin = 256
+	}
+	if p.MaxCoalesceSize == 0 {
+		p.MaxCoalesceSize = 1 << 20
+	}
+	if p.MaxProbes == 0 {
+		p.MaxProbes = 64
+	}
+	needClasses := vec.BlockSizes != dspace.ManyVarSizes || vec.PoolRange == dspace.FixedSizePerPool
+	if needClasses && len(p.ClassSizes) == 0 {
+		for s := int64(16); s <= 64<<10; s <<= 1 {
+			p.ClassSizes = append(p.ClassSizes, s)
+		}
+	}
+}

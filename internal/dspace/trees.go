@@ -1,0 +1,364 @@
+// Package dspace models the dynamic-memory-management design space of
+// Atienza et al. (DATE 2004): fifteen orthogonal decision trees grouped in
+// five categories, the interdependencies between them (Fig. 2/3 of the
+// paper), and the traversal order for reduced memory footprint (Sec. 4.2).
+//
+// Any combination of one leaf per tree is a candidate DM manager; the
+// constraint rules reject incoherent combinations exactly as the paper's
+// full-arrow interdependencies do. The package also enumerates the valid
+// region of the space for exhaustive exploration.
+//
+// Figure 1 of the paper (the tree diagram) is not machine-readable in the
+// available text; leaf sets are reconstructed from the prose, the Sec. 5
+// walkthrough, and Wilson et al.'s survey the paper builds on. See
+// DESIGN.md §4 for the mapping.
+package dspace
+
+import "fmt"
+
+// Tree identifies one orthogonal decision tree.
+type Tree int
+
+// The fifteen decision trees, grouped by the paper's categories A-E.
+const (
+	// Category A: creating block structures.
+	A1BlockStructure Tree = iota // DDT used for free blocks inside a pool
+	A2BlockSizes                 // fixed vs. variable block sizes
+	A3BlockTags                  // header/footer fields reserved per block
+	A4RecordedInfo               // what the tags record
+	A5FlexBlockSize              // split/coalesce mechanisms available
+	// Category B: pool division based on criterion.
+	B1PoolDivision // one pool vs. one pool per size class
+	B2PoolStruct   // DDT organizing the pools
+	B3PoolPhase    // pools shared across phases or per phase
+	B4PoolRange    // block-size granularity inside a pool
+	// Category C: allocating blocks.
+	C1Fit       // fit algorithm
+	C2FreeOrder // free-list ordering discipline
+	// Category D: coalescing blocks.
+	D1MaxBlockSizes // block sizes allowed to result from coalescing
+	D2CoalesceWhen  // how often coalescing runs
+	// Category E: splitting blocks.
+	E1MinBlockSizes // block sizes allowed to result from splitting
+	E2SplitWhen     // how often splitting runs
+
+	NumTrees int = iota
+)
+
+var treeNames = [...]string{
+	A1BlockStructure: "A1 block structure",
+	A2BlockSizes:     "A2 block sizes",
+	A3BlockTags:      "A3 block tags",
+	A4RecordedInfo:   "A4 block recorded info",
+	A5FlexBlockSize:  "A5 flexible block size manager",
+	B1PoolDivision:   "B1 pool division based on size",
+	B2PoolStruct:     "B2 pool structure",
+	B3PoolPhase:      "B3 pool division based on phase",
+	B4PoolRange:      "B4 block range per pool",
+	C1Fit:            "C1 fit algorithm",
+	C2FreeOrder:      "C2 free-list order",
+	D1MaxBlockSizes:  "D1 number of max block sizes",
+	D2CoalesceWhen:   "D2 coalescing when",
+	E1MinBlockSizes:  "E1 number of min block sizes",
+	E2SplitWhen:      "E2 splitting when",
+}
+
+// String returns the paper-style tree name.
+func (t Tree) String() string {
+	if t >= 0 && int(t) < len(treeNames) {
+		return treeNames[t]
+	}
+	return fmt.Sprintf("Tree(%d)", int(t))
+}
+
+// Category returns the paper's category letter for the tree.
+func (t Tree) Category() byte {
+	switch {
+	case t <= A5FlexBlockSize:
+		return 'A'
+	case t <= B4PoolRange:
+		return 'B'
+	case t <= C2FreeOrder:
+		return 'C'
+	case t <= D2CoalesceWhen:
+		return 'D'
+	default:
+		return 'E'
+	}
+}
+
+// Leaf is a leaf index within its tree. The typed constants below give the
+// meaning per tree.
+type Leaf uint8
+
+// A1 block structure: the dynamic data type holding free blocks.
+const (
+	SinglyLinked Leaf = iota // one forward link per free block
+	DoublyLinked             // forward+backward links: O(1) unlink
+	SizeSorted               // doubly linked, kept sorted by size
+	numA1
+)
+
+// A2 block sizes.
+const (
+	OneBlockSize   Leaf = iota // single fixed block size
+	ManyFixedSizes             // a fixed set of block sizes
+	ManyVarSizes               // any size, not fixed in advance
+	numA2
+)
+
+// A3 block tags.
+const (
+	NoTags       Leaf = iota // no per-block metadata
+	HeaderTag                // header before the payload
+	HeaderFooter             // full boundary tags
+	numA3
+)
+
+// A4 block recorded info (cumulative sets, in increasing capability).
+const (
+	RecordNone           Leaf = iota // nothing recorded
+	RecordSize                       // gross size
+	RecordSizeStatus                 // size + used/prevUsed status
+	RecordSizeStatusPrev             // size + status + previous block size
+	numA4
+)
+
+// A5 flexible block size manager.
+const (
+	NoFlex        Leaf = iota // neither split nor coalesce
+	SplitOnly                 // splitting available
+	CoalesceOnly              // coalescing available
+	SplitCoalesce             // both mechanisms available
+	numA5
+)
+
+// B1 pool division based on size.
+const (
+	SinglePool   Leaf = iota // one pool holds every size
+	PoolPerClass             // one pool per block-size class
+	numB1
+)
+
+// B2 pool structure.
+const (
+	PoolArray Leaf = iota // pools held in a direct-indexed array
+	PoolList              // pools held in a linked list
+	numB2
+)
+
+// B3 pool division based on phase.
+const (
+	SharedPools   Leaf = iota // one pool set for the whole application
+	PoolsPerPhase             // separate pool sets per behavioural phase
+	numB3
+)
+
+// B4 block range per pool.
+const (
+	FixedSizePerPool Leaf = iota // exactly one block size per pool
+	Pow2Classes                  // power-of-two size classes
+	ExactClasses                 // exact-size classes (per distinct size)
+	AnyRange                     // any size in any pool
+	numB4
+)
+
+// C1 fit algorithm.
+const (
+	FirstFit Leaf = iota
+	NextFit
+	BestFit
+	WorstFit
+	ExactFit
+	numC1
+)
+
+// C2 free-list order.
+const (
+	LIFOOrder Leaf = iota
+	FIFOOrder
+	AddressOrder
+	numC2
+)
+
+// D1/E1 resulting block sizes (shared leaf meanings).
+const (
+	OneResultSize Leaf = iota // a single allowed result size
+	ManyFixedSet              // a fixed set of allowed sizes
+	ManyNotFixed              // any size may result
+	numD1
+)
+
+// D2/E2 when to run the mechanism (shared leaf meanings).
+const (
+	Never    Leaf = iota // mechanism disabled
+	Deferred             // run when a threshold/trigger fires
+	Always               // run immediately on every opportunity
+	numD2
+)
+
+// leafNames maps tree -> leaf -> display name.
+var leafNames = [NumTrees][]string{
+	A1BlockStructure: {"singly-linked", "doubly-linked", "size-sorted"},
+	A2BlockSizes:     {"one", "many-fixed", "many-variable"},
+	A3BlockTags:      {"none", "header", "header+footer"},
+	A4RecordedInfo:   {"none", "size", "size+status", "size+status+prevsize"},
+	A5FlexBlockSize:  {"none", "split-only", "coalesce-only", "split+coalesce"},
+	B1PoolDivision:   {"single-pool", "pool-per-class"},
+	B2PoolStruct:     {"array", "list"},
+	B3PoolPhase:      {"shared", "per-phase"},
+	B4PoolRange:      {"fixed-size", "pow2-classes", "exact-classes", "any-range"},
+	C1Fit:            {"first", "next", "best", "worst", "exact"},
+	C2FreeOrder:      {"lifo", "fifo", "address"},
+	D1MaxBlockSizes:  {"one", "many-fixed", "many-not-fixed"},
+	D2CoalesceWhen:   {"never", "deferred", "always"},
+	E1MinBlockSizes:  {"one", "many-fixed", "many-not-fixed"},
+	E2SplitWhen:      {"never", "deferred", "always"},
+}
+
+// LeafCount returns the number of leaves in tree t.
+func LeafCount(t Tree) int { return len(leafNames[t]) }
+
+// LeafName returns the display name of leaf l of tree t.
+func LeafName(t Tree, l Leaf) string {
+	if int(l) < len(leafNames[t]) {
+		return leafNames[t][l]
+	}
+	return fmt.Sprintf("leaf(%d)", l)
+}
+
+// Order is the paper's traversal order for reduced memory footprint
+// (Sec. 4.2): A2→A5→E2→D2→E1→D1→B4→B1→C1→A1→A3→A4. The three trees the
+// order in the paper does not mention (B2, B3, C2) are decided immediately
+// after their closest relative, which preserves the published prefix.
+var Order = []Tree{
+	A2BlockSizes, A5FlexBlockSize,
+	E2SplitWhen, D2CoalesceWhen, E1MinBlockSizes, D1MaxBlockSizes,
+	B4PoolRange, B1PoolDivision, B2PoolStruct, B3PoolPhase,
+	C1Fit, C2FreeOrder,
+	A1BlockStructure, A3BlockTags, A4RecordedInfo,
+}
+
+// Vector is one point in the design space: a leaf chosen in every tree —
+// one "atomic DM manager" in the paper's notation.
+type Vector struct {
+	BlockStructure Leaf // A1
+	BlockSizes     Leaf // A2
+	BlockTags      Leaf // A3
+	RecordedInfo   Leaf // A4
+	Flex           Leaf // A5
+	PoolDivision   Leaf // B1
+	PoolStruct     Leaf // B2
+	PoolPhase      Leaf // B3
+	PoolRange      Leaf // B4
+	Fit            Leaf // C1
+	FreeOrder      Leaf // C2
+	MaxBlockSizes  Leaf // D1
+	CoalesceWhen   Leaf // D2
+	MinBlockSizes  Leaf // E1
+	SplitWhen      Leaf // E2
+}
+
+// Get returns the leaf chosen for tree t.
+func (v *Vector) Get(t Tree) Leaf {
+	switch t {
+	case A1BlockStructure:
+		return v.BlockStructure
+	case A2BlockSizes:
+		return v.BlockSizes
+	case A3BlockTags:
+		return v.BlockTags
+	case A4RecordedInfo:
+		return v.RecordedInfo
+	case A5FlexBlockSize:
+		return v.Flex
+	case B1PoolDivision:
+		return v.PoolDivision
+	case B2PoolStruct:
+		return v.PoolStruct
+	case B3PoolPhase:
+		return v.PoolPhase
+	case B4PoolRange:
+		return v.PoolRange
+	case C1Fit:
+		return v.Fit
+	case C2FreeOrder:
+		return v.FreeOrder
+	case D1MaxBlockSizes:
+		return v.MaxBlockSizes
+	case D2CoalesceWhen:
+		return v.CoalesceWhen
+	case E1MinBlockSizes:
+		return v.MinBlockSizes
+	case E2SplitWhen:
+		return v.SplitWhen
+	}
+	panic(fmt.Sprintf("dspace: bad tree %d", t))
+}
+
+// Set chooses leaf l for tree t.
+func (v *Vector) Set(t Tree, l Leaf) {
+	switch t {
+	case A1BlockStructure:
+		v.BlockStructure = l
+	case A2BlockSizes:
+		v.BlockSizes = l
+	case A3BlockTags:
+		v.BlockTags = l
+	case A4RecordedInfo:
+		v.RecordedInfo = l
+	case A5FlexBlockSize:
+		v.Flex = l
+	case B1PoolDivision:
+		v.PoolDivision = l
+	case B2PoolStruct:
+		v.PoolStruct = l
+	case B3PoolPhase:
+		v.PoolPhase = l
+	case B4PoolRange:
+		v.PoolRange = l
+	case C1Fit:
+		v.Fit = l
+	case C2FreeOrder:
+		v.FreeOrder = l
+	case D1MaxBlockSizes:
+		v.MaxBlockSizes = l
+	case D2CoalesceWhen:
+		v.CoalesceWhen = l
+	case E1MinBlockSizes:
+		v.MinBlockSizes = l
+	case E2SplitWhen:
+		v.SplitWhen = l
+	default:
+		panic(fmt.Sprintf("dspace: bad tree %d", t))
+	}
+}
+
+// String renders the vector as category-grouped leaf names.
+func (v Vector) String() string {
+	s := ""
+	for i := 0; i < NumTrees; i++ {
+		t := Tree(i)
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%c%d=%s", t.Category(), treeIndexInCategory(t), LeafName(t, v.Get(t)))
+	}
+	return s
+}
+
+func treeIndexInCategory(t Tree) int {
+	switch t {
+	case A1BlockStructure, B1PoolDivision, C1Fit, D1MaxBlockSizes, E1MinBlockSizes:
+		return 1
+	case A2BlockSizes, B2PoolStruct, C2FreeOrder, D2CoalesceWhen, E2SplitWhen:
+		return 2
+	case A3BlockTags, B3PoolPhase:
+		return 3
+	case A4RecordedInfo, B4PoolRange:
+		return 4
+	case A5FlexBlockSize:
+		return 5
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmmkit/internal/core"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// OrderResult compares the methodology's decision order against the
+// Figure 4 counter-example (block tags decided first).
+type OrderResult struct {
+	RightFootprint int64
+	WrongFootprint int64
+	RightDesign    core.Design
+	WrongDesign    core.Design
+	Penalty        float64 // wrong/right - 1
+}
+
+// RunOrderAblation designs DRR managers with the correct and the wrong
+// tree order and measures both footprints (averaged over seeds).
+func RunOrderAblation(cfg Config) (*OrderResult, error) {
+	cfg.defaults()
+	res := &OrderResult{}
+	var runs int64
+	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		tr, err := BuildWorkloadTrace(WorkloadDRR, seed, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		prof := profile.FromTrace(tr)
+		right := core.DesignFor(prof)
+		wrong := core.WrongOrderDesign(prof)
+		res.RightDesign, res.WrongDesign = right, wrong
+
+		rm, err := right.Build(heap.New(heap.Config{}))
+		if err != nil {
+			return nil, err
+		}
+		rr, err := trace.Run(rm, tr, trace.RunOpts{})
+		if err != nil {
+			return nil, fmt.Errorf("order ablation (right): %w", err)
+		}
+		wm, err := wrong.Build(heap.New(heap.Config{}))
+		if err != nil {
+			return nil, err
+		}
+		wr, err := trace.Run(wm, tr, trace.RunOpts{})
+		if err != nil {
+			return nil, fmt.Errorf("order ablation (wrong): %w", err)
+		}
+		res.RightFootprint += rr.MaxFootprint
+		res.WrongFootprint += wr.MaxFootprint
+		runs++
+	}
+	res.RightFootprint /= runs
+	res.WrongFootprint /= runs
+	if res.RightFootprint > 0 {
+		res.Penalty = float64(res.WrongFootprint)/float64(res.RightFootprint) - 1
+	}
+	return res, nil
+}
+
+// StaticResult compares static worst-case sizing against dynamic
+// management (the Sec. 1 motivation: static sizing costs more memory).
+type StaticResult struct {
+	StaticBytes int64 // worst-case static buffer plan
+	DynamicPeak int64 // custom manager footprint
+	Overhead    float64
+}
+
+// RunStaticVsDynamic sizes every allocation site statically for its worst
+// case (peak concurrent blocks x largest request, per tag) and compares
+// with the custom manager's dynamic footprint on DRR.
+func RunStaticVsDynamic(cfg Config) (*StaticResult, error) {
+	cfg.defaults()
+	res := &StaticResult{}
+	var runs int64
+	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		tr, err := BuildWorkloadTrace(WorkloadDRR, seed, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		res.StaticBytes += staticPlanBytes(tr)
+		prof := profile.FromTrace(tr)
+		mgr, err := NewManager(MgrCustom, prof)
+		if err != nil {
+			return nil, err
+		}
+		run, err := trace.Run(mgr, tr, trace.RunOpts{})
+		if err != nil {
+			return nil, err
+		}
+		res.DynamicPeak += run.MaxFootprint
+		runs++
+	}
+	res.StaticBytes /= runs
+	res.DynamicPeak /= runs
+	if res.DynamicPeak > 0 {
+		res.Overhead = float64(res.StaticBytes)/float64(res.DynamicPeak) - 1
+	}
+	return res, nil
+}
+
+// staticPlanBytes computes the worst-case static buffer plan of a trace:
+// for each allocation tag, peak concurrent block count times largest
+// request (every block sized for the worst case, as a static design must).
+func staticPlanBytes(tr *trace.Trace) int64 {
+	type tagState struct {
+		live, peak int64
+		maxSize    int64
+	}
+	tags := map[int32]*tagState{}
+	sizes := map[int64]int32{}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindAlloc:
+			ts := tags[e.Tag]
+			if ts == nil {
+				ts = &tagState{}
+				tags[e.Tag] = ts
+			}
+			ts.live++
+			if ts.live > ts.peak {
+				ts.peak = ts.live
+			}
+			if e.Size > ts.maxSize {
+				ts.maxSize = e.Size
+			}
+			sizes[e.ID] = e.Tag
+		case trace.KindFree:
+			tags[sizes[e.ID]].live--
+			delete(sizes, e.ID)
+		}
+	}
+	var total int64
+	for _, ts := range tags {
+		total += ts.peak * ts.maxSize
+	}
+	return total
+}
+
+// PerfResult reports the execution-time proxy per workload: allocator
+// work units of each manager, plus the application-level overhead of the
+// custom manager versus Kingsley (the fastest general-purpose manager in
+// the paper's measurements), using the trace.AppWork application model —
+// the quantity the paper reports as "~10% overhead over the execution
+// time of the fastest general-purpose DM manager".
+type PerfResult struct {
+	Workload    Workload
+	Units       map[ManagerName]float64 // total allocator work units
+	AppUnits    float64                 // application work (trace.AppWork)
+	AllocRatio  float64                 // custom/kingsley allocator work
+	AppOverhead float64                 // app-level overhead: custom vs kingsley
+}
+
+// RunPerf measures work units for every manager on every workload.
+func RunPerf(cfg Config) ([]PerfResult, error) {
+	cfg.defaults()
+	t1, err := RunTable1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []PerfResult
+	for _, w := range Workloads {
+		pr := PerfResult{Workload: w, Units: make(map[ManagerName]float64)}
+		tr, err := BuildWorkloadTrace(w, 1, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		pr.AppUnits = float64(trace.AppWork(tr))
+		for _, m := range Managers {
+			c := t1.Cells[m][w]
+			if c.Runs > 0 {
+				pr.Units[m] = float64(c.Work)
+			}
+		}
+		if k := pr.Units[MgrKingsley]; k > 0 {
+			pr.AllocRatio = pr.Units[MgrCustom] / k
+			pr.AppOverhead = (pr.AppUnits+pr.Units[MgrCustom])/(pr.AppUnits+pr.Units[MgrKingsley]) - 1
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}

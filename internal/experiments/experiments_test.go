@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// quickCfg keeps the integration tests fast while exercising the full
+// pipeline (workload -> trace -> profile -> managers -> replay).
+var quickCfg = Config{Seeds: 2, Quick: true}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	t1, err := RunTable1(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := t1.Cells
+
+	// Column 1 (DRR): custom < Lea < Kingsley, as in the paper.
+	if !(cells[MgrCustom][WorkloadDRR].MaxFootprint < cells[MgrLea][WorkloadDRR].MaxFootprint) {
+		t.Errorf("DRR: custom (%d) not below Lea (%d)",
+			cells[MgrCustom][WorkloadDRR].MaxFootprint, cells[MgrLea][WorkloadDRR].MaxFootprint)
+	}
+	if !(cells[MgrLea][WorkloadDRR].MaxFootprint < cells[MgrKingsley][WorkloadDRR].MaxFootprint) {
+		t.Errorf("DRR: Lea (%d) not below Kingsley (%d)",
+			cells[MgrLea][WorkloadDRR].MaxFootprint, cells[MgrKingsley][WorkloadDRR].MaxFootprint)
+	}
+
+	// Column 2 (recon3d): custom < Regions and custom < Kingsley.
+	if !(cells[MgrCustom][WorkloadRecon].MaxFootprint < cells[MgrRegions][WorkloadRecon].MaxFootprint) {
+		t.Errorf("recon3d: custom (%d) not below Regions (%d)",
+			cells[MgrCustom][WorkloadRecon].MaxFootprint, cells[MgrRegions][WorkloadRecon].MaxFootprint)
+	}
+	if !(cells[MgrCustom][WorkloadRecon].MaxFootprint < cells[MgrKingsley][WorkloadRecon].MaxFootprint) {
+		t.Errorf("recon3d: custom not below Kingsley")
+	}
+
+	// Column 3 (render3d): custom < Obstacks < Kingsley; Lea < Kingsley.
+	if !(cells[MgrCustom][WorkloadRender].MaxFootprint < cells[MgrObstacks][WorkloadRender].MaxFootprint) {
+		t.Errorf("render3d: custom (%d) not below Obstacks (%d)",
+			cells[MgrCustom][WorkloadRender].MaxFootprint, cells[MgrObstacks][WorkloadRender].MaxFootprint)
+	}
+	if !(cells[MgrObstacks][WorkloadRender].MaxFootprint < cells[MgrKingsley][WorkloadRender].MaxFootprint) {
+		t.Errorf("render3d: Obstacks not below Kingsley")
+	}
+	if !(cells[MgrLea][WorkloadRender].MaxFootprint < cells[MgrKingsley][WorkloadRender].MaxFootprint) {
+		t.Errorf("render3d: Lea not below Kingsley (paper: 53%% better)")
+	}
+
+	// Every footprint must cover the live lower bound.
+	for _, m := range Managers {
+		for _, w := range Workloads {
+			c := cells[m][w]
+			if c.MaxFootprint < c.MaxLive {
+				t.Errorf("%s/%s: footprint %d below live bytes %d", m, w, c.MaxFootprint, c.MaxLive)
+			}
+		}
+	}
+
+	// Aggregate improvement must be substantial and positive.
+	if avg := t1.AverageImprovement(); avg < 0.15 {
+		t.Errorf("average improvement %.2f; paper reports ~0.60", avg)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	t1, err := RunTable1(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"Kingsley-Windows", "our DM manager", "paper 2.09e+06", "average improvement"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table output missing %q", frag)
+		}
+	}
+}
+
+func TestFigure5SeriesShape(t *testing.T) {
+	f5, err := RunFigure5(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Lea) < 50 || len(f5.Custom) < 50 {
+		t.Fatalf("series too short: lea=%d custom=%d", len(f5.Lea), len(f5.Custom))
+	}
+	// The custom curve must track live bytes far more closely than Lea
+	// on average (the Figure 5 story).
+	var leaExcess, customExcess, n float64
+	for i := range f5.Custom {
+		if i >= len(f5.Lea) {
+			break
+		}
+		live := float64(f5.Custom[i].Live)
+		if live <= 0 {
+			continue
+		}
+		leaExcess += float64(f5.Lea[i].Footprint) - live
+		customExcess += float64(f5.Custom[i].Footprint) - live
+		n++
+	}
+	if customExcess >= leaExcess {
+		t.Errorf("custom mean excess %.0f not below Lea %.0f", customExcess/n, leaExcess/n)
+	}
+	var buf bytes.Buffer
+	if err := f5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 50 {
+		t.Errorf("CSV has only %d lines", lines)
+	}
+	if chart := f5.Chart(60, 10); !strings.Contains(chart, "Lea footprint") {
+		t.Error("chart missing legend")
+	}
+}
+
+func TestPerfOverheadModest(t *testing.T) {
+	prs, err := RunPerf(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prs) != len(Workloads) {
+		t.Fatalf("got %d perf rows, want %d", len(prs), len(Workloads))
+	}
+	for _, pr := range prs {
+		if pr.Units[MgrKingsley] <= 0 {
+			t.Errorf("%s: no Kingsley work recorded", pr.Workload)
+		}
+		// The paper's claim: ~10% overhead at application level. Allow
+		// headroom for quick-mode noise but fail on blowups.
+		if pr.AppOverhead > 0.5 {
+			t.Errorf("%s: app overhead %.1f%%, far above the paper's ~10%%", pr.Workload, 100*pr.AppOverhead)
+		}
+	}
+}
+
+func TestOrderAblationShowsPenalty(t *testing.T) {
+	or, err := RunOrderAblation(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.WrongFootprint <= or.RightFootprint {
+		t.Errorf("wrong order (%d) not worse than right order (%d); Figure 4 expects a penalty",
+			or.WrongFootprint, or.RightFootprint)
+	}
+	// The wrong order must have been forced into never split/coalesce.
+	if or.WrongDesign.Vector.SplitWhen != 0 || or.WrongDesign.Vector.CoalesceWhen != 0 {
+		t.Error("wrong-order design still splits/coalesces")
+	}
+	var buf bytes.Buffer
+	if err := WriteOrder(&buf, or); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "penalty") {
+		t.Error("order report missing penalty line")
+	}
+}
+
+func TestStaticVsDynamic(t *testing.T) {
+	st, err := RunStaticVsDynamic(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StaticBytes <= st.DynamicPeak {
+		t.Errorf("static plan (%d) not above dynamic footprint (%d)", st.StaticBytes, st.DynamicPeak)
+	}
+	var buf bytes.Buffer
+	if err := WriteStatic(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "static worst-case") {
+		t.Error("static report missing header")
+	}
+}
+
+func TestBuildWorkloadTraceErrors(t *testing.T) {
+	if _, err := BuildWorkloadTrace("nope", 1, true); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := NewManager("nope", nil); err == nil {
+		t.Error("unknown manager accepted")
+	}
+}
+
+func TestManagersAreFreshPerRun(t *testing.T) {
+	tr, err := BuildWorkloadTrace(WorkloadDRR, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profileOf(t, tr)
+	m1, err := NewManager(MgrKingsley, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(MgrKingsley, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Error("NewManager returned a shared instance")
+	}
+}
+
+// profileOf is a test helper computing a trace's profile.
+func profileOf(t *testing.T, tr *trace.Trace) *profile.Profile {
+	t.Helper()
+	return profile.FromTrace(tr)
+}
+
+func TestFitAblation(t *testing.T) {
+	frs, err := RunFitAblation(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frs) != 5 {
+		t.Fatalf("got %d fit results, want 5", len(frs))
+	}
+	byFit := map[string]int64{}
+	for _, r := range frs {
+		if r.MaxFootprint <= 0 {
+			t.Errorf("fit %d: no footprint", r.Fit)
+		}
+		byFit[fitName(r.Fit)] = r.MaxFootprint
+	}
+	// The paper chooses exact fit for footprint: it must not lose to
+	// worst fit, the anti-footprint policy.
+	if byFit["exact"] > byFit["worst"] {
+		t.Errorf("exact fit (%d) worse than worst fit (%d)", byFit["exact"], byFit["worst"])
+	}
+	var buf bytes.Buffer
+	if err := WriteFits(&buf, frs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exact") {
+		t.Error("fit table missing exact row")
+	}
+}
+
+func fitName(l dspace.Leaf) string { return dspace.LeafName(dspace.C1Fit, l) }

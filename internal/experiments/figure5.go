@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dmmkit/internal/profile"
+	"dmmkit/internal/textplot"
+	"dmmkit/internal/trace"
+)
+
+// Figure5Result holds the footprint-over-time curves of Lea and the
+// custom manager on one DRR run (Figure 5 of the paper).
+type Figure5Result struct {
+	TraceName string
+	Events    int
+	Lea       []trace.Point
+	Custom    []trace.Point
+	Live      []trace.Point // the application's requested bytes, for reference
+}
+
+// RunFigure5 replays one DRR trace with footprint sampling on Lea and the
+// methodology-designed custom manager.
+func RunFigure5(seed int64, quick bool) (*Figure5Result, error) {
+	tr, err := BuildWorkloadTrace(WorkloadDRR, seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	prof := profile.FromTrace(tr)
+	every := len(tr.Events) / 400
+	if every < 1 {
+		every = 1
+	}
+	res := &Figure5Result{TraceName: tr.Name, Events: len(tr.Events)}
+
+	leaMgr, err := NewManager(MgrLea, prof)
+	if err != nil {
+		return nil, err
+	}
+	leaRun, err := trace.Run(leaMgr, tr, trace.RunOpts{SampleEvery: every})
+	if err != nil {
+		return nil, err
+	}
+	res.Lea = leaRun.Series
+
+	customMgr, err := NewManager(MgrCustom, prof)
+	if err != nil {
+		return nil, err
+	}
+	customRun, err := trace.Run(customMgr, tr, trace.RunOpts{SampleEvery: every})
+	if err != nil {
+		return nil, err
+	}
+	res.Custom = customRun.Series
+	for _, p := range customRun.Series {
+		res.Live = append(res.Live, trace.Point{Index: p.Index, Tick: p.Tick, Footprint: p.Live})
+	}
+	return res, nil
+}
+
+// WriteCSV emits the three curves as CSV (event index, tick, bytes).
+func (f *Figure5Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "event,tick,lea_footprint,custom_footprint,live_bytes"); err != nil {
+		return err
+	}
+	n := len(f.Lea)
+	if len(f.Custom) < n {
+		n = len(f.Custom)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d\n",
+			f.Lea[i].Index, f.Lea[i].Tick, f.Lea[i].Footprint, f.Custom[i].Footprint, f.Custom[i].Live); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders the curves as an ASCII chart (the cmd-line Figure 5).
+func (f *Figure5Result) Chart(width, height int) string {
+	toSeries := func(name string, pts []trace.Point) textplot.Series {
+		s := textplot.Series{Name: name}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Index))
+			s.Y = append(s.Y, float64(p.Footprint))
+		}
+		return s
+	}
+	return textplot.Plot(width, height,
+		toSeries("Lea footprint", f.Lea),
+		toSeries("custom DM manager footprint", f.Custom),
+		toSeries("live bytes (lower bound)", f.Live),
+	)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"dmmkit/internal/core"
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// FitResult measures one C1 fit-algorithm leaf on the DRR custom design.
+type FitResult struct {
+	Fit          dspace.Leaf
+	MaxFootprint int64
+	Work         int64
+}
+
+// RunFitAblation holds the DRR custom design fixed except for the C1 fit
+// tree and measures every leaf: the experiment behind the paper's Sec. 5
+// choice of exact fit "to avoid as much as possible memory lost in
+// internal fragmentation".
+func RunFitAblation(cfg Config) ([]FitResult, error) {
+	cfg.defaults()
+	sums := make(map[dspace.Leaf]*FitResult)
+	fits := []dspace.Leaf{dspace.FirstFit, dspace.NextFit, dspace.BestFit, dspace.WorstFit, dspace.ExactFit}
+	for _, f := range fits {
+		sums[f] = &FitResult{Fit: f}
+	}
+	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		tr, err := BuildWorkloadTrace(WorkloadDRR, seed, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		prof := profile.FromTrace(tr)
+		base := core.DesignFor(prof)
+		for _, f := range fits {
+			d := base
+			d.Vector.Fit = f
+			m, err := d.Build(heap.New(heap.Config{}))
+			if err != nil {
+				return nil, fmt.Errorf("fit ablation %s: %w", dspace.LeafName(dspace.C1Fit, f), err)
+			}
+			run, err := trace.Run(m, tr, trace.RunOpts{})
+			if err != nil {
+				return nil, err
+			}
+			sums[f].MaxFootprint += run.MaxFootprint
+			sums[f].Work += int64(run.Work)
+		}
+	}
+	var out []FitResult
+	for _, f := range fits {
+		r := *sums[f]
+		r.MaxFootprint /= int64(cfg.Seeds)
+		r.Work /= int64(cfg.Seeds)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteFits renders the fit ablation table.
+func WriteFits(w io.Writer, frs []FitResult) error {
+	fmt.Fprintln(w, "C1 fit-algorithm ablation on the DRR custom design (rest of the vector fixed):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "fit\tmax footprint (B)\twork units")
+	for _, r := range frs {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", dspace.LeafName(dspace.C1Fit, r.Fit), r.MaxFootprint, r.Work)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable1 renders the measured Table 1 next to the paper's published
+// values, with the improvement rows the paper quotes in Sec. 5.
+func WriteTable1(w io.Writer, t *Table1Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Dyn. Mem. managers\tDRR scheduler\t3D image reconst.\t3D scalable rendering\n")
+	for _, m := range Managers {
+		fmt.Fprintf(tw, "%s", m)
+		for _, wl := range Workloads {
+			c := t.Cells[m][wl]
+			paper := PaperTable1[m][wl]
+			if paper > 0 {
+				fmt.Fprintf(tw, "\t%.3g (paper %.3g)", float64(c.MaxFootprint), float64(paper))
+			} else {
+				fmt.Fprintf(tw, "\t%.3g (paper -)", float64(c.MaxFootprint))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "peak live bytes (bound)")
+	for _, wl := range Workloads {
+		fmt.Fprintf(tw, "\t%.3g", float64(t.Cells[MgrCustom][wl].MaxLive))
+	}
+	fmt.Fprintln(tw)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Improvements of the custom manager (paper's Sec. 5 claims in parentheses):\n")
+	type claim struct {
+		m     ManagerName
+		w     Workload
+		paper string
+	}
+	for _, c := range []claim{
+		{MgrLea, WorkloadDRR, "36%"},
+		{MgrKingsley, WorkloadDRR, "93%"},
+		{MgrRegions, WorkloadRecon, "28.47%"},
+		{MgrKingsley, WorkloadRecon, "33.01%"},
+		{MgrObstacks, WorkloadRender, "30%"},
+		{MgrKingsley, WorkloadRender, "73%"},
+	} {
+		fmt.Fprintf(w, "  vs %-18s on %-9s: %5.1f%% (paper %s)\n", c.m, c.w, 100*t.Improvement(c.m, c.w), c.paper)
+	}
+	fmt.Fprintf(w, "  average improvement over reported baselines: %.1f%% (paper ~60%%)\n",
+		100*t.AverageImprovement())
+	return nil
+}
+
+// WritePerf renders the execution-time proxy table.
+func WritePerf(w io.Writer, prs []PerfResult) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "workload\tKingsley\tLea\tRegions\tObstacks\tCustom\tapp work\talloc ratio\tapp overhead (paper ~10%%)\n")
+	var sum float64
+	for _, pr := range prs {
+		fmt.Fprintf(tw, "%s", pr.Workload)
+		for _, m := range Managers {
+			fmt.Fprintf(tw, "\t%.3g", pr.Units[m])
+		}
+		fmt.Fprintf(tw, "\t%.3g\t%.2fx\t%+.1f%%\n", pr.AppUnits, pr.AllocRatio, 100*pr.AppOverhead)
+		sum += pr.AppOverhead
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "average app-level overhead of the custom manager vs Kingsley: %+.1f%%\n", 100*sum/float64(len(prs)))
+	return nil
+}
+
+// WriteOrder renders the Figure 4 decision-order ablation.
+func WriteOrder(w io.Writer, r *OrderResult) error {
+	fmt.Fprintf(w, "decision-order ablation (DRR):\n")
+	fmt.Fprintf(w, "  paper order   (A2->A5->E2->D2->...) footprint: %d B\n", r.RightFootprint)
+	fmt.Fprintf(w, "  wrong order   (A3/A4 first)          footprint: %d B\n", r.WrongFootprint)
+	fmt.Fprintf(w, "  penalty of deciding block tags first: %+.1f%%\n", 100*r.Penalty)
+	fmt.Fprintf(w, "\nwrong-order decision log (note tags: none, then split/coalesce forced to never):\n%s\n", r.WrongDesign)
+	return nil
+}
+
+// WriteStatic renders the static-vs-dynamic comparison.
+func WriteStatic(w io.Writer, r *StaticResult) error {
+	fmt.Fprintf(w, "static worst-case sizing vs dynamic management (DRR):\n")
+	fmt.Fprintf(w, "  static worst-case plan: %d B\n", r.StaticBytes)
+	fmt.Fprintf(w, "  dynamic custom manager: %d B\n", r.DynamicPeak)
+	fmt.Fprintf(w, "  static overhead: %+.0f%% (paper cites >=22%% for intermediate static solutions)\n", 100*r.Overhead)
+	return nil
+}

@@ -1,0 +1,329 @@
+// Package heap provides a simulated byte-addressable heap for dynamic
+// memory managers.
+//
+// Go's runtime is garbage collected, so a manual allocator cannot manage
+// real process memory the way the C allocators studied by Atienza et al.
+// (DATE 2004) do. Instead, every manager in this repository operates on a
+// Heap: a growable arena with an sbrk-style program break plus mmap-like
+// side segments. Allocator metadata (block headers, footers, free-list
+// links) is stored in-band inside the arena, exactly as a C allocator
+// stores it in process memory, so per-block overhead, fragmentation and
+// footprint measurements are byte-accurate.
+//
+// Addresses are 32-bit offsets (type Addr), matching the 32-bit embedded
+// targets the paper considers; in-band pointer fields therefore cost four
+// bytes. Address 0 is reserved as the nil address.
+//
+// The Heap tracks the high-water mark of memory requested from the
+// "system" (break high-water plus mapped-segment high-water). This is the
+// paper's figure of merit: maximum memory footprint.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Addr is an address (byte offset) inside a Heap's virtual address space.
+// Address 0 is never a valid block address.
+type Addr uint32
+
+// Nil is the reserved invalid address.
+const Nil Addr = 0
+
+// Align is the alignment guaranteed by Sbrk and Map and required of all
+// in-band field accesses that cross managers.
+const Align = 8
+
+// Common errors returned by Heap operations.
+var (
+	// ErrOutOfMemory is returned when the configured address-space or
+	// byte limit would be exceeded.
+	ErrOutOfMemory = errors.New("heap: out of memory")
+	// ErrBadAddress is returned for accesses outside any live region.
+	ErrBadAddress = errors.New("heap: bad address")
+	// ErrBadUnmap is returned when unmapping an address that is not the
+	// base of a live mapped segment.
+	ErrBadUnmap = errors.New("heap: not a mapped segment")
+)
+
+// Config controls heap construction. The zero value selects defaults.
+type Config struct {
+	// PageSize is the sbrk granularity in bytes. Managers may request
+	// arbitrary extensions; the heap grows its backing store in pages.
+	// Default 4096.
+	PageSize int64
+	// SegBase is the virtual address where mapped segments start. The
+	// break may never grow past it. Default 1 GiB.
+	SegBase Addr
+	// Limit, if non-zero, caps the total bytes (break + segments) the
+	// heap will hand out; used for out-of-memory fault injection.
+	Limit int64
+}
+
+type segment struct {
+	base Addr
+	size int64
+	mem  []byte
+}
+
+// Heap is a simulated process heap. It is not safe for concurrent use;
+// each manager owns its heap, mirroring a single-threaded embedded target.
+type Heap struct {
+	cfg Config
+
+	mem []byte // backing store for the sbrk region; mem[0] unused
+	brk Addr   // current program break; addresses in [base, brk) are owned
+
+	segs     []*segment // mmap-like segments, sorted by base
+	nextSeg  Addr       // next segment base to hand out
+	segBytes int64
+
+	maxFootprint int64
+
+	// Counters exposed through SysStats.
+	nSbrk, nShrink, nMap, nUnmap int64
+}
+
+// base is the lowest address handed out by Sbrk. Address 0 is reserved,
+// and keeping the first Align bytes unused means every valid address is
+// non-zero and aligned.
+const base Addr = Align
+
+// New returns an empty heap with the given configuration.
+func New(cfg Config) *Heap {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.SegBase == 0 {
+		cfg.SegBase = 1 << 30
+	}
+	h := &Heap{cfg: cfg, brk: base, nextSeg: cfg.SegBase}
+	return h
+}
+
+// Reset returns the heap to its freshly constructed state, releasing all
+// memory and clearing statistics.
+func (h *Heap) Reset() {
+	h.mem = nil
+	h.brk = base
+	h.segs = nil
+	h.nextSeg = h.cfg.SegBase
+	h.segBytes = 0
+	h.maxFootprint = 0
+	h.nSbrk, h.nShrink, h.nMap, h.nUnmap = 0, 0, 0, 0
+}
+
+// roundUp rounds n up to a multiple of Align.
+func roundUp(n int64) int64 { return (n + Align - 1) &^ (Align - 1) }
+
+// Sbrk extends the program break by n bytes (rounded up to Align) and
+// returns the address of the newly acquired region. It fails if the break
+// would collide with the segment area or exceed the byte limit.
+func (h *Heap) Sbrk(n int64) (Addr, error) {
+	if n <= 0 {
+		return Nil, fmt.Errorf("heap: Sbrk size %d: must be positive", n)
+	}
+	n = roundUp(n)
+	old := h.brk
+	newBrk := int64(old) + n
+	if newBrk > int64(h.cfg.SegBase) {
+		return Nil, ErrOutOfMemory
+	}
+	if h.cfg.Limit > 0 && h.footprint()+n > h.cfg.Limit {
+		return Nil, ErrOutOfMemory
+	}
+	// Grow backing store geometrically (in whole pages) so repeated
+	// small extensions stay amortized O(1).
+	if need := newBrk; need > int64(len(h.mem)) {
+		if dbl := int64(len(h.mem)) * 2; need < dbl {
+			need = dbl
+		}
+		pages := (need + h.cfg.PageSize - 1) / h.cfg.PageSize
+		grown := make([]byte, pages*h.cfg.PageSize)
+		copy(grown, h.mem)
+		h.mem = grown
+	}
+	h.brk = Addr(newBrk)
+	h.nSbrk++
+	h.bumpFootprint()
+	return old, nil
+}
+
+// ShrinkBrk lowers the program break by n bytes, returning memory to the
+// system. The caller must no longer own [brk-n, brk). The maximum
+// footprint statistic is unaffected.
+func (h *Heap) ShrinkBrk(n int64) error {
+	if n <= 0 || n%Align != 0 {
+		return fmt.Errorf("heap: ShrinkBrk size %d: must be positive and aligned", n)
+	}
+	if int64(h.brk)-n < int64(base) {
+		return fmt.Errorf("heap: ShrinkBrk %d below heap base", n)
+	}
+	h.brk -= Addr(n)
+	// Poison the released range so use-after-release shows up in tests.
+	for i := int64(h.brk); i < int64(h.brk)+n && i < int64(len(h.mem)); i++ {
+		h.mem[i] = 0xDD
+	}
+	h.nShrink++
+	return nil
+}
+
+// Brk returns the current program break.
+func (h *Heap) Brk() Addr { return h.brk }
+
+// Map allocates an mmap-like segment of n bytes (rounded up to the page
+// size) outside the sbrk region and returns its base address.
+func (h *Heap) Map(n int64) (Addr, error) {
+	if n <= 0 {
+		return Nil, fmt.Errorf("heap: Map size %d: must be positive", n)
+	}
+	sz := (n + h.cfg.PageSize - 1) / h.cfg.PageSize * h.cfg.PageSize
+	if h.cfg.Limit > 0 && h.footprint()+sz > h.cfg.Limit {
+		return Nil, ErrOutOfMemory
+	}
+	if int64(h.nextSeg)+sz > int64(^uint32(0))-Align {
+		return Nil, ErrOutOfMemory
+	}
+	s := &segment{base: h.nextSeg, size: sz, mem: make([]byte, sz)}
+	h.nextSeg += Addr(sz) + h.cfg.SegGuard()
+	h.segs = append(h.segs, s)
+	h.segBytes += sz
+	h.nMap++
+	h.bumpFootprint()
+	return s.base, nil
+}
+
+// SegGuard is the gap left between mapped segments so that off-by-one
+// accesses cannot silently land in a neighbouring segment.
+func (c Config) SegGuard() Addr { return Addr(c.PageSize) }
+
+// Unmap releases the segment previously returned by Map at addr.
+func (h *Heap) Unmap(addr Addr) error {
+	for i, s := range h.segs {
+		if s.base == addr {
+			h.segBytes -= s.size
+			h.segs = append(h.segs[:i], h.segs[i+1:]...)
+			h.nUnmap++
+			return nil
+		}
+	}
+	return ErrBadUnmap
+}
+
+// SegmentSize returns the size of the mapped segment at addr, or 0 if addr
+// is not a mapped segment base.
+func (h *Heap) SegmentSize(addr Addr) int64 {
+	for _, s := range h.segs {
+		if s.base == addr {
+			return s.size
+		}
+	}
+	return 0
+}
+
+// InSbrkRegion reports whether addr lies inside the current sbrk region.
+func (h *Heap) InSbrkRegion(addr Addr) bool {
+	return addr >= base && addr < h.brk
+}
+
+// locate returns the backing slice and offset for addr, ensuring n bytes
+// are accessible.
+func (h *Heap) locate(addr Addr, n int64) ([]byte, int64, error) {
+	if addr >= base && int64(addr)+n <= int64(h.brk) {
+		return h.mem, int64(addr), nil
+	}
+	if addr >= h.cfg.SegBase {
+		// Binary search over segments sorted by base.
+		i := sort.Search(len(h.segs), func(i int) bool { return h.segs[i].base+Addr(h.segs[i].size) > addr })
+		if i < len(h.segs) {
+			s := h.segs[i]
+			off := int64(addr) - int64(s.base)
+			if off >= 0 && off+n <= s.size {
+				return s.mem, off, nil
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: %#x (+%d)", ErrBadAddress, addr, n)
+}
+
+// U32 reads a little-endian 32-bit field at addr.
+func (h *Heap) U32(addr Addr) uint32 {
+	m, off, err := h.locate(addr, 4)
+	if err != nil {
+		panic(err)
+	}
+	return uint32(m[off]) | uint32(m[off+1])<<8 | uint32(m[off+2])<<16 | uint32(m[off+3])<<24
+}
+
+// PutU32 writes a little-endian 32-bit field at addr.
+func (h *Heap) PutU32(addr Addr, v uint32) {
+	m, off, err := h.locate(addr, 4)
+	if err != nil {
+		panic(err)
+	}
+	m[off] = byte(v)
+	m[off+1] = byte(v >> 8)
+	m[off+2] = byte(v >> 16)
+	m[off+3] = byte(v >> 24)
+}
+
+// Ptr reads an in-band address field at addr.
+func (h *Heap) Ptr(addr Addr) Addr { return Addr(h.U32(addr)) }
+
+// PutPtr writes an in-band address field at addr.
+func (h *Heap) PutPtr(addr Addr, v Addr) { h.PutU32(addr, uint32(v)) }
+
+// Bytes returns a mutable view of n bytes at addr. The view is only valid
+// until the next Sbrk/Map call.
+func (h *Heap) Bytes(addr Addr, n int64) []byte {
+	m, off, err := h.locate(addr, n)
+	if err != nil {
+		panic(err)
+	}
+	return m[off : off+n]
+}
+
+// Fill sets n bytes at addr to b; used by tests to detect overlap.
+func (h *Heap) Fill(addr Addr, n int64, b byte) {
+	s := h.Bytes(addr, n)
+	for i := range s {
+		s[i] = b
+	}
+}
+
+// footprint is the memory currently requested from the system.
+func (h *Heap) footprint() int64 {
+	return int64(h.brk) - int64(base) + h.segBytes
+}
+
+// Footprint returns the bytes currently requested from the system (sbrk
+// region plus mapped segments).
+func (h *Heap) Footprint() int64 { return h.footprint() }
+
+// MaxFootprint returns the high-water mark of Footprint over the heap's
+// lifetime: the paper's "maximum memory footprint".
+func (h *Heap) MaxFootprint() int64 { return h.maxFootprint }
+
+func (h *Heap) bumpFootprint() {
+	if f := h.footprint(); f > h.maxFootprint {
+		h.maxFootprint = f
+	}
+}
+
+// SysStats reports system-call-level activity for a heap.
+type SysStats struct {
+	Sbrks   int64 // break extensions
+	Shrinks int64 // break shrinks (memory returned to the system)
+	Maps    int64 // segment allocations
+	Unmaps  int64 // segment releases
+}
+
+// SysStats returns the heap's system-call counters.
+func (h *Heap) SysStats() SysStats {
+	return SysStats{Sbrks: h.nSbrk, Shrinks: h.nShrink, Maps: h.nMap, Unmaps: h.nUnmap}
+}
+
+// Base returns the lowest valid sbrk-region address.
+func Base() Addr { return base }

@@ -1,0 +1,175 @@
+// Package img provides synthetic grayscale images and a corner detector
+// for the 3D-reconstruction workload. The paper's second case study
+// processes 640x480 video frames whose feature counts are unpredictable at
+// compile time; this package generates procedural frames with a
+// seed-controlled amount of texture so the detected corner population
+// varies the same way.
+package img
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Gray is an 8-bit grayscale image.
+type Gray struct {
+	W, H int
+	Pix  []byte
+}
+
+// NewGray allocates a black WxH image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel value at (x, y); out-of-bounds reads return 0.
+func (g *Gray) At(x, y int) byte {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v byte) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Bytes returns the image storage size, the number the allocators see.
+func (g *Gray) Bytes() int64 { return int64(len(g.Pix)) }
+
+// Scene parameterizes procedural frame generation.
+type Scene struct {
+	Seed    int64
+	W, H    int     // default 640x480
+	Blobs   int     // textured blobs (corner sources); default 60
+	Noise   float64 // additive noise amplitude 0..1; default 0.05
+	ShiftX  int     // camera displacement applied to the second frame
+	ShiftY  int
+	Texture float64 // blob contrast 0..1; default 0.8
+}
+
+func (s *Scene) defaults() {
+	if s.W == 0 {
+		s.W = 640
+	}
+	if s.H == 0 {
+		s.H = 480
+	}
+	if s.Blobs == 0 {
+		s.Blobs = 60
+	}
+	if s.Noise == 0 {
+		s.Noise = 0.05
+	}
+	if s.Texture == 0 {
+		s.Texture = 0.8
+	}
+}
+
+// Render generates the frame for the scene shifted by (dx, dy) — two
+// renders with different shifts emulate consecutive frames under camera
+// motion ("the relative displacement between frames is used to
+// reconstruct the 3rd dimension").
+func (s Scene) Render(dx, dy int) *Gray {
+	s.defaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	g := NewGray(s.W, s.H)
+	// Smooth background gradient.
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			g.Pix[y*s.W+x] = byte(64 + 32*math.Sin(float64(x)/97)*math.Cos(float64(y)/71))
+		}
+	}
+	// Textured square blobs: their corners are detectable features.
+	for b := 0; b < s.Blobs; b++ {
+		cx := rng.Intn(s.W-40) + 20 + dx
+		cy := rng.Intn(s.H-40) + 20 + dy
+		sz := rng.Intn(24) + 8
+		val := byte(128 + rng.Intn(int(120*s.Texture)))
+		for y := cy - sz/2; y < cy+sz/2; y++ {
+			for x := cx - sz/2; x < cx+sz/2; x++ {
+				g.Set(x, y, val)
+			}
+		}
+	}
+	// Pixel noise (deterministic per seed).
+	nrng := rand.New(rand.NewSource(s.Seed ^ 0x9E3779B9))
+	amp := int(s.Noise * 255)
+	if amp > 0 {
+		for i := range g.Pix {
+			d := nrng.Intn(2*amp+1) - amp
+			v := int(g.Pix[i]) + d
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			g.Pix[i] = byte(v)
+		}
+	}
+	return g
+}
+
+// Corner is a detected feature point.
+type Corner struct {
+	X, Y     int
+	Strength int32
+}
+
+// DetectCorners runs a Moravec-style corner response over the image and
+// returns the features above threshold, strongest first within raster
+// order. The count depends on image content — the unpredictability that
+// forces dynamic memory in the original application.
+func DetectCorners(g *Gray, threshold int32) []Corner {
+	var out []Corner
+	const step = 4 // evaluation grid; keeps the detector fast
+	for y := 8; y < g.H-8; y += step {
+		for x := 8; x < g.W-8; x += step {
+			r := cornerResponse(g, x, y)
+			if r >= threshold {
+				out = append(out, Corner{X: x, Y: y, Strength: r})
+			}
+		}
+	}
+	return out
+}
+
+// cornerResponse measures intensity variation in four directions (min of
+// directional SSDs, Moravec's operator).
+func cornerResponse(g *Gray, x, y int) int32 {
+	dirs := [4][2]int{{1, 0}, {0, 1}, {1, 1}, {1, -1}}
+	min := int32(math.MaxInt32)
+	for _, d := range dirs {
+		var ssd int32
+		for k := -3; k <= 3; k++ {
+			a := int32(g.At(x+k*d[0], y+k*d[1]))
+			b := int32(g.At(x+(k+1)*d[0], y+(k+1)*d[1]))
+			ssd += (a - b) * (a - b)
+		}
+		if ssd < min {
+			min = ssd
+		}
+	}
+	return min
+}
+
+// MatchWindow bounds the displacement search during matching.
+const MatchWindow = 24
+
+// PatchDistance compares 7x7 patches around two corners in two images;
+// smaller is more similar.
+func PatchDistance(a *Gray, ca Corner, b *Gray, cb Corner) int64 {
+	var sum int64
+	for dy := -3; dy <= 3; dy++ {
+		for dx := -3; dx <= 3; dx++ {
+			pa := int64(a.At(ca.X+dx, ca.Y+dy))
+			pb := int64(b.At(cb.X+dx, cb.Y+dy))
+			sum += (pa - pb) * (pa - pb)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,97 @@
+package img
+
+import "testing"
+
+func TestRenderDeterministic(t *testing.T) {
+	s := Scene{Seed: 1}
+	a := s.Render(0, 0)
+	b := s.Render(0, 0)
+	if a.W != 640 || a.H != 480 {
+		t.Fatalf("default size %dx%d, want 640x480", a.W, a.H)
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same scene rendered differently")
+		}
+	}
+}
+
+func TestShiftMovesContent(t *testing.T) {
+	s := Scene{Seed: 2, Noise: 0.0001}
+	a := s.Render(0, 0)
+	c := s.Render(10, 0)
+	diff := 0
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			diff++
+		}
+	}
+	if diff < 1000 {
+		t.Errorf("shifted render differs in only %d pixels", diff)
+	}
+}
+
+func TestAtSetBounds(t *testing.T) {
+	g := NewGray(10, 10)
+	g.Set(-1, 0, 9)
+	g.Set(0, -1, 9)
+	g.Set(10, 0, 9)
+	if g.At(-1, 0) != 0 || g.At(0, 100) != 0 {
+		t.Error("out-of-bounds reads not zero")
+	}
+	g.Set(3, 4, 42)
+	if g.At(3, 4) != 42 {
+		t.Error("Set/At round trip failed")
+	}
+}
+
+func TestDetectCornersFindsFeatures(t *testing.T) {
+	s := Scene{Seed: 3}
+	g := s.Render(0, 0)
+	corners := DetectCorners(g, 600)
+	if len(corners) < 50 {
+		t.Errorf("only %d corners detected, want a rich feature set", len(corners))
+	}
+	for _, c := range corners {
+		if c.X < 0 || c.X >= g.W || c.Y < 0 || c.Y >= g.H {
+			t.Fatalf("corner out of bounds: %+v", c)
+		}
+		if c.Strength < 600 {
+			t.Fatalf("corner below threshold: %+v", c)
+		}
+	}
+}
+
+func TestCornerCountVariesWithSeed(t *testing.T) {
+	counts := map[int]bool{}
+	for seed := int64(0); seed < 5; seed++ {
+		g := Scene{Seed: seed, Blobs: 40 + int(seed)*15}.Render(0, 0)
+		counts[len(DetectCorners(g, 600))] = true
+	}
+	if len(counts) < 3 {
+		t.Errorf("corner counts too uniform across scenes: %v (the workload needs unpredictable populations)", counts)
+	}
+}
+
+func TestFlatImageHasNoCorners(t *testing.T) {
+	g := NewGray(100, 100)
+	for i := range g.Pix {
+		g.Pix[i] = 128
+	}
+	if got := DetectCorners(g, 100); len(got) != 0 {
+		t.Errorf("flat image produced %d corners", len(got))
+	}
+}
+
+func TestPatchDistanceZeroForIdenticalPatches(t *testing.T) {
+	s := Scene{Seed: 4}
+	g := s.Render(0, 0)
+	c := Corner{X: 50, Y: 50}
+	if d := PatchDistance(g, c, g, c); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+	far := Corner{X: 200, Y: 300}
+	if d := PatchDistance(g, c, g, far); d == 0 {
+		t.Error("distant patches identical; scene has no texture")
+	}
+}

@@ -1,0 +1,198 @@
+// Package mesh implements scalable (progressive) triangle meshes in the
+// style of Hoppe's progressive meshes / the "Level of Detail for 3D
+// Graphics" techniques the paper's third case study builds on: a coarse
+// base mesh plus an ordered sequence of vertex-split refinements. A
+// renderer picks the level of detail (LOD) per object from the viewer
+// distance and materializes or releases refinement records dynamically —
+// the DM behaviour of the 3D scalable rendering application.
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Vec3 is a 3D position.
+type Vec3 struct{ X, Y, Z float32 }
+
+// Face is a triangle over vertex indices.
+type Face struct{ A, B, C int32 }
+
+// VSplit is one refinement record: splitting vertex Parent introduces a
+// new vertex and two new faces.
+type VSplit struct {
+	Parent  int32
+	NewVert Vec3
+	FaceA   Face
+	FaceB   Face
+}
+
+// Record sizes in bytes on the 32-bit embedded target: what the DM
+// manager is asked for when a record is materialized.
+const (
+	VertexBytes = 72 // position, normal, texture coords, color, flags
+	FaceBytes   = 40 // indices, neighbour links, material
+)
+
+// Progressive is a scalable mesh: the base geometry plus the refinement
+// stream.
+type Progressive struct {
+	BaseVerts []Vec3
+	BaseFaces []Face
+	Splits    []VSplit
+}
+
+// Generate builds a progressive mesh from a jittered grid surface: a
+// (base+detail)-resolution surface simplified down to a base-resolution
+// mesh, with the removed vertices recorded as vertex splits.
+func Generate(seed int64, baseRes, detail int) *Progressive {
+	if baseRes < 2 {
+		baseRes = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Progressive{}
+	// Base grid.
+	for y := 0; y < baseRes; y++ {
+		for x := 0; x < baseRes; x++ {
+			p.BaseVerts = append(p.BaseVerts, Vec3{
+				X: float32(x) + rng.Float32()*0.3,
+				Y: float32(y) + rng.Float32()*0.3,
+				Z: rng.Float32(),
+			})
+		}
+	}
+	for y := 0; y < baseRes-1; y++ {
+		for x := 0; x < baseRes-1; x++ {
+			i := int32(y*baseRes + x)
+			p.BaseFaces = append(p.BaseFaces,
+				Face{i, i + 1, i + int32(baseRes)},
+				Face{i + 1, i + int32(baseRes) + 1, i + int32(baseRes)})
+		}
+	}
+	// Refinement stream: each split subdivides around a random parent.
+	nVerts := int32(len(p.BaseVerts))
+	for s := 0; s < detail; s++ {
+		parent := rng.Int31n(nVerts)
+		nv := Vec3{
+			X: rng.Float32() * float32(baseRes),
+			Y: rng.Float32() * float32(baseRes),
+			Z: rng.Float32(),
+		}
+		p.Splits = append(p.Splits, VSplit{
+			Parent:  parent,
+			NewVert: nv,
+			FaceA:   Face{parent, nVerts, rng.Int31n(nVerts)},
+			FaceB:   Face{nVerts, parent, rng.Int31n(nVerts)},
+		})
+		nVerts++
+	}
+	return p
+}
+
+// MaxLOD returns the number of available refinement levels.
+func (p *Progressive) MaxLOD() int { return len(p.Splits) }
+
+// RecordsAt returns how many vertex and face records a mesh refined to
+// lod levels holds beyond the base mesh.
+func (p *Progressive) RecordsAt(lod int) (verts, faces int) {
+	if lod > len(p.Splits) {
+		lod = len(p.Splits)
+	}
+	return lod, 2 * lod
+}
+
+// BaseBytes returns the dynamic memory the base mesh occupies when loaded
+// (vertex and face records).
+func (p *Progressive) BaseBytes() int64 {
+	return int64(len(p.BaseVerts))*VertexBytes + int64(len(p.BaseFaces))*FaceBytes
+}
+
+// Instance is a refinable view of a progressive mesh: it tracks the
+// current LOD and which refinement records are materialized. The actual
+// allocation of records is delegated to the caller through the Alloc/Free
+// callbacks so the workload can emit a DM trace.
+type Instance struct {
+	P   *Progressive
+	lod int
+	// Materialized record handles, in refinement order: for each level
+	// one vertex record and two face records.
+	vertIDs []int64
+	faceIDs []int64
+}
+
+// NewInstance returns an instance at LOD 0.
+func NewInstance(p *Progressive) *Instance { return &Instance{P: p} }
+
+// LOD returns the current refinement level.
+func (in *Instance) LOD() int { return in.lod }
+
+// Refine raises the LOD by one, materializing one vertex and two face
+// records via alloc. It reports whether refinement was possible.
+func (in *Instance) Refine(alloc func(size int64) int64) bool {
+	if in.lod >= in.P.MaxLOD() {
+		return false
+	}
+	in.vertIDs = append(in.vertIDs, alloc(VertexBytes))
+	in.faceIDs = append(in.faceIDs, alloc(FaceBytes), alloc(FaceBytes))
+	in.lod++
+	return true
+}
+
+// Coarsen lowers the LOD by one, releasing the most recent records via
+// free (LIFO — the edge-collapse order). It reports whether coarsening
+// was possible.
+func (in *Instance) Coarsen(free func(id int64)) bool {
+	if in.lod == 0 {
+		return false
+	}
+	in.lod--
+	free(in.faceIDs[len(in.faceIDs)-1])
+	free(in.faceIDs[len(in.faceIDs)-2])
+	in.faceIDs = in.faceIDs[:len(in.faceIDs)-2]
+	free(in.vertIDs[len(in.vertIDs)-1])
+	in.vertIDs = in.vertIDs[:len(in.vertIDs)-1]
+	return true
+}
+
+// ReleaseAll frees every materialized record in the given order function:
+// order receives the record count and returns the visit order (the
+// teardown phase frees in screen-space order, not LIFO). The instance
+// returns to LOD 0.
+func (in *Instance) ReleaseAll(order func(n int) []int, free func(id int64)) {
+	ids := make([]int64, 0, len(in.vertIDs)+len(in.faceIDs))
+	ids = append(ids, in.vertIDs...)
+	ids = append(ids, in.faceIDs...)
+	if order == nil {
+		for i := len(ids) - 1; i >= 0; i-- {
+			free(ids[i])
+		}
+	} else {
+		for _, i := range order(len(ids)) {
+			free(ids[i])
+		}
+	}
+	in.vertIDs, in.faceIDs = nil, nil
+	in.lod = 0
+}
+
+// Validate checks structural sanity of the progressive mesh.
+func (p *Progressive) Validate() error {
+	if len(p.BaseVerts) < 3 || len(p.BaseFaces) < 1 {
+		return fmt.Errorf("mesh: degenerate base mesh (%d verts, %d faces)", len(p.BaseVerts), len(p.BaseFaces))
+	}
+	n := int32(len(p.BaseVerts)) + int32(len(p.Splits))
+	for i, f := range p.BaseFaces {
+		if f.A >= n || f.B >= n || f.C >= n || f.A < 0 || f.B < 0 || f.C < 0 {
+			return fmt.Errorf("mesh: base face %d references vertex out of range", i)
+		}
+	}
+	for i, s := range p.Splits {
+		limit := int32(len(p.BaseVerts)) + int32(i) + 1
+		for _, f := range []Face{s.FaceA, s.FaceB} {
+			if f.A >= limit || f.B >= limit || f.C >= limit {
+				return fmt.Errorf("mesh: split %d references future vertex", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package mesh
+
+import "testing"
+
+func TestGenerateValid(t *testing.T) {
+	p := Generate(1, 8, 500)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.BaseVerts) != 64 {
+		t.Errorf("base verts = %d, want 64", len(p.BaseVerts))
+	}
+	if len(p.BaseFaces) != 2*7*7 {
+		t.Errorf("base faces = %d, want 98", len(p.BaseFaces))
+	}
+	if p.MaxLOD() != 500 {
+		t.Errorf("MaxLOD = %d, want 500", p.MaxLOD())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := Generate(2, 4, 10)
+	p.BaseFaces[0].A = 9999
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range face index validated")
+	}
+	p = Generate(2, 4, 10)
+	p.Splits[0].FaceA.B = 9999
+	if err := p.Validate(); err == nil {
+		t.Error("future-vertex split validated")
+	}
+}
+
+func TestRecordsAt(t *testing.T) {
+	p := Generate(3, 4, 100)
+	v, f := p.RecordsAt(40)
+	if v != 40 || f != 80 {
+		t.Errorf("RecordsAt(40) = %d,%d, want 40,80", v, f)
+	}
+	v, f = p.RecordsAt(1000) // clamped
+	if v != 100 || f != 200 {
+		t.Errorf("RecordsAt(1000) = %d,%d, want clamped 100,200", v, f)
+	}
+}
+
+func TestInstanceRefineCoarsenLIFO(t *testing.T) {
+	p := Generate(4, 4, 50)
+	in := NewInstance(p)
+	var log []int64
+	next := int64(0)
+	alloc := func(size int64) int64 {
+		next++
+		log = append(log, next)
+		return next
+	}
+	var freed []int64
+	free := func(id int64) { freed = append(freed, id) }
+
+	for i := 0; i < 10; i++ {
+		if !in.Refine(alloc) {
+			t.Fatal("refine failed")
+		}
+	}
+	if in.LOD() != 10 {
+		t.Fatalf("LOD = %d, want 10", in.LOD())
+	}
+	if len(log) != 30 { // 1 vertex + 2 faces per level
+		t.Fatalf("allocated %d records, want 30", len(log))
+	}
+	if !in.Coarsen(free) {
+		t.Fatal("coarsen failed")
+	}
+	// Coarsen must free the most recent records (LIFO).
+	if len(freed) != 3 {
+		t.Fatalf("freed %d records, want 3", len(freed))
+	}
+	for _, id := range freed {
+		if id < 28 {
+			t.Errorf("coarsen freed old record %d; LIFO order expected", id)
+		}
+	}
+	if in.LOD() != 9 {
+		t.Errorf("LOD = %d after coarsen, want 9", in.LOD())
+	}
+}
+
+func TestCoarsenAtBaseFails(t *testing.T) {
+	in := NewInstance(Generate(5, 4, 10))
+	if in.Coarsen(func(int64) {}) {
+		t.Error("coarsen succeeded at LOD 0")
+	}
+}
+
+func TestRefineExhaustion(t *testing.T) {
+	p := Generate(6, 4, 3)
+	in := NewInstance(p)
+	alloc := func(int64) int64 { return 1 }
+	n := 0
+	for in.Refine(func(s int64) int64 { n++; return alloc(s) }) {
+	}
+	if in.LOD() != 3 {
+		t.Errorf("LOD = %d after exhaustion, want 3", in.LOD())
+	}
+	if n != 9 {
+		t.Errorf("allocated %d records, want 9", n)
+	}
+}
+
+func TestReleaseAllCustomOrder(t *testing.T) {
+	p := Generate(7, 4, 20)
+	in := NewInstance(p)
+	id := int64(0)
+	for i := 0; i < 20; i++ {
+		in.Refine(func(int64) int64 { id++; return id })
+	}
+	var freed []int64
+	reverse := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i // forward order: deliberately non-LIFO
+		}
+		return out
+	}
+	in.ReleaseAll(reverse, func(x int64) { freed = append(freed, x) })
+	if len(freed) != 60 {
+		t.Fatalf("released %d records, want 60", len(freed))
+	}
+	if in.LOD() != 0 {
+		t.Errorf("LOD = %d after ReleaseAll, want 0", in.LOD())
+	}
+	// Default (nil order) releases LIFO.
+	in2 := NewInstance(p)
+	id = 0
+	for i := 0; i < 5; i++ {
+		in2.Refine(func(int64) int64 { id++; return id })
+	}
+	freed = nil
+	in2.ReleaseAll(nil, func(x int64) { freed = append(freed, x) })
+	if freed[0] != 15 {
+		t.Errorf("nil-order ReleaseAll freed %d first, want the newest (15)", freed[0])
+	}
+}
+
+func TestBaseBytes(t *testing.T) {
+	p := Generate(8, 4, 0)
+	want := int64(16)*VertexBytes + int64(18)*FaceBytes
+	if p.BaseBytes() != want {
+		t.Errorf("BaseBytes = %d, want %d", p.BaseBytes(), want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(9, 6, 100)
+	b := Generate(9, 6, 100)
+	if len(a.Splits) != len(b.Splits) {
+		t.Fatal("split counts differ")
+	}
+	for i := range a.Splits {
+		if a.Splits[i] != b.Splits[i] {
+			t.Fatal("splits differ for same seed")
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package mm
+
+import "dmmkit/internal/heap"
+
+// Shadow is debug/measurement bookkeeping mapping live payload addresses to
+// their requested sizes. Real embedded allocators keep no such table; it
+// exists so managers can report accurate LiveBytes statistics and reject
+// bad frees deterministically. It lives outside the simulated arena and is
+// deliberately NOT counted in any footprint figure.
+type Shadow struct {
+	m map[heap.Addr]int64
+}
+
+// Add records a live payload address with its requested size.
+func (s *Shadow) Add(p heap.Addr, req int64) {
+	if s.m == nil {
+		s.m = make(map[heap.Addr]int64)
+	}
+	s.m[p] = req
+}
+
+// Remove forgets a payload address, returning its requested size. ok is
+// false when p is not live (bad or double free).
+func (s *Shadow) Remove(p heap.Addr) (req int64, ok bool) {
+	req, ok = s.m[p]
+	if ok {
+		delete(s.m, p)
+	}
+	return req, ok
+}
+
+// Contains reports whether p is live.
+func (s *Shadow) Contains(p heap.Addr) bool { _, ok := s.m[p]; return ok }
+
+// Len returns the number of live blocks.
+func (s *Shadow) Len() int { return len(s.m) }
+
+// Reset clears the shadow table.
+func (s *Shadow) Reset() { s.m = nil }

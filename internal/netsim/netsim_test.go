@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := Generate(Config{Seed: 3})
+	b := Generate(Config{Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Generate(Config{Seed: 4})
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traffic")
+	}
+}
+
+func TestRateNearTarget(t *testing.T) {
+	cfg := Config{Seed: 1, RateMbps: 10}
+	s := Summarize(Generate(cfg), cfg)
+	if s.RateMbps < 6 || s.RateMbps > 14 {
+		t.Errorf("achieved rate %.1f Mbps, want within [6,14] of the 10 Mbps target", s.RateMbps)
+	}
+}
+
+func TestPacketsOrderedAndSane(t *testing.T) {
+	cfg := Config{Seed: 2}
+	pkts := Generate(cfg)
+	if len(pkts) < 1000 {
+		t.Fatalf("only %d packets generated", len(pkts))
+	}
+	last := -1.0
+	for i, p := range pkts {
+		if p.TimeMs < last {
+			t.Fatalf("packet %d out of order: %.3f after %.3f", i, p.TimeMs, last)
+		}
+		last = p.TimeMs
+		if p.Size < 20 || p.Size > 1500 {
+			t.Fatalf("packet %d has size %d outside [20,1500]", i, p.Size)
+		}
+		if p.Flow < 0 {
+			t.Fatalf("packet %d has negative flow %d", i, p.Flow)
+		}
+	}
+}
+
+func TestSizeVariability(t *testing.T) {
+	cfg := Config{Seed: 5}
+	s := Summarize(Generate(cfg), cfg)
+	if s.SizeModes < 20 {
+		t.Errorf("only %d distinct sizes; DRR needs highly variable sizes", s.SizeModes)
+	}
+}
+
+func TestPhaseMixDrifts(t *testing.T) {
+	cfg := Config{Seed: 7}
+	pkts := Generate(cfg)
+	phaseMs := cfg.PhaseMs
+	if phaseMs == 0 {
+		phaseMs = 500
+	}
+	// The dominant size must differ between (most) adjacent phases.
+	dominant := make(map[int]int64)
+	counts := make(map[int]map[int64]int)
+	for _, p := range pkts {
+		ph := int(p.TimeMs / phaseMs)
+		if counts[ph] == nil {
+			counts[ph] = make(map[int64]int)
+		}
+		counts[ph][p.Size]++
+	}
+	for ph, cs := range counts {
+		best, bestN := int64(0), 0
+		for s, n := range cs {
+			if n > bestN {
+				best, bestN = s, n
+			}
+		}
+		dominant[ph] = best
+	}
+	changes := 0
+	for ph := 1; ph < len(dominant); ph++ {
+		if dominant[ph] != dominant[ph-1] {
+			changes++
+		}
+	}
+	if changes < len(dominant)/2 {
+		t.Errorf("dominant size changed only %d times over %d phases; mix should drift", changes, len(dominant))
+	}
+}
+
+func TestBurstiness(t *testing.T) {
+	// ON/OFF arrivals: per-ms byte counts should have high variance
+	// relative to a constant-rate stream.
+	cfg := Config{Seed: 9}
+	pkts := Generate(cfg)
+	perMs := make(map[int]int64)
+	for _, p := range pkts {
+		perMs[int(p.TimeMs)]++
+	}
+	n := int(Duration(cfg))
+	var mean, m2 float64
+	for i := 0; i < n; i++ {
+		mean += float64(perMs[i])
+	}
+	mean /= float64(n)
+	for i := 0; i < n; i++ {
+		d := float64(perMs[i]) - mean
+		m2 += d * d
+	}
+	cv := math.Sqrt(m2/float64(n)) / mean
+	if cv < 0.5 {
+		t.Errorf("arrival CV = %.2f, want bursty (>0.5)", cv)
+	}
+}

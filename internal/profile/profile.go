@@ -1,0 +1,301 @@
+// Package profile analyzes the dynamic-memory behaviour of an application
+// trace: block-size populations, lifetimes, per-phase behaviour, LIFO-ness
+// and size variability. The Designer (internal/core) consumes these
+// numbers to take the decisions the paper's methodology leaves to
+// profiling ("we first profile its DM behaviour", Sec. 5).
+package profile
+
+import (
+	"math"
+	"sort"
+
+	"dmmkit/internal/trace"
+)
+
+// SizeStats aggregates the allocations of one requested size.
+type SizeStats struct {
+	Size    int64
+	Count   int64
+	MaxLive int64 // peak concurrently live bytes of this size
+}
+
+// Profile summarizes a trace's DM behaviour.
+type Profile struct {
+	Name   string
+	Events int
+	Allocs int64
+	Frees  int64
+
+	// Size population.
+	Sizes         []SizeStats // ascending by size
+	DistinctSizes int
+	MinSize       int64
+	MaxSize       int64
+	MeanSize      float64
+	SizeCV        float64 // coefficient of variation of request sizes
+
+	// Live volume.
+	MaxLiveBytes  int64 // peak concurrently requested bytes
+	MaxLiveBlocks int64
+	TotalBytes    int64 // sum of all allocation sizes
+
+	// Lifetimes, in events between alloc and free.
+	MeanLifetime float64
+	P95Lifetime  int64
+	NeverFreed   int64
+
+	// Behaviour indicators.
+	LIFOScore       float64 // fraction of frees hitting the newest live block
+	CrossPhaseFrees int64   // frees of blocks allocated in a different phase
+
+	// Per-tag worst case (sizes a region/partition designer would use).
+	TagMax map[int]int64
+
+	// Phases present in the trace, ascending by phase id.
+	Phases []PhaseProfile
+}
+
+// PhaseProfile is the per-phase slice of the profile (Sec. 3.3: one atomic
+// manager per behavioural phase).
+type PhaseProfile struct {
+	Phase         int
+	Events        int
+	Allocs        int64
+	DistinctSizes int
+	MinSize       int64
+	MaxSize       int64
+	SizeCV        float64
+	MaxLiveBytes  int64
+	LIFOScore     float64
+}
+
+// FromTrace computes the full profile of a trace.
+func FromTrace(t *trace.Trace) *Profile {
+	p := &Profile{Name: t.Name, Events: len(t.Events), TagMax: make(map[int]int64)}
+
+	type liveInfo struct {
+		size    int64
+		born    int
+		orderIx int64 // allocation order for LIFO detection
+		phase   int32
+	}
+	live := make(map[int64]liveInfo)
+
+	sizeCount := make(map[int64]int64)
+	sizeLive := make(map[int64]int64)
+	sizeLiveMax := make(map[int64]int64)
+
+	var liveBytes, liveBlocks int64
+	var orderCounter int64
+	var newestStack []int64 // stack of live ids in allocation order
+	var lifoHits, lifoTotal int64
+	var lifetimes []int64
+	var sumSize float64
+	var sumSize2 float64
+
+	phases := make(map[int32]*phaseAcc)
+	phaseOf := func(id int32) *phaseAcc {
+		pa, ok := phases[id]
+		if !ok {
+			pa = newPhaseAcc(int(id))
+			phases[id] = pa
+		}
+		return pa
+	}
+
+	for i, e := range t.Events {
+		pa := phaseOf(e.Phase)
+		pa.events++
+		switch e.Kind {
+		case trace.KindAlloc:
+			p.Allocs++
+			live[e.ID] = liveInfo{size: e.Size, born: i, orderIx: orderCounter, phase: e.Phase}
+			newestStack = append(newestStack, e.ID)
+			orderCounter++
+
+			sizeCount[e.Size]++
+			sizeLive[e.Size] += e.Size
+			if sizeLive[e.Size] > sizeLiveMax[e.Size] {
+				sizeLiveMax[e.Size] = sizeLive[e.Size]
+			}
+			liveBytes += e.Size
+			liveBlocks++
+			if liveBytes > p.MaxLiveBytes {
+				p.MaxLiveBytes = liveBytes
+			}
+			if liveBlocks > p.MaxLiveBlocks {
+				p.MaxLiveBlocks = liveBlocks
+			}
+			p.TotalBytes += e.Size
+			sumSize += float64(e.Size)
+			sumSize2 += float64(e.Size) * float64(e.Size)
+			if e.Size > p.TagMax[int(e.Tag)] {
+				p.TagMax[int(e.Tag)] = e.Size
+			}
+			pa.noteAlloc(e.Size, liveBytesOfPhase(pa, e.Size))
+		case trace.KindFree:
+			p.Frees++
+			li := live[e.ID]
+			delete(live, e.ID)
+			if li.phase != e.Phase {
+				p.CrossPhaseFrees++
+			}
+			// LIFO detection: pop dead ids, then check the top.
+			for len(newestStack) > 0 {
+				if _, ok := live[newestStack[len(newestStack)-1]]; !ok && newestStack[len(newestStack)-1] != e.ID {
+					newestStack = newestStack[:len(newestStack)-1]
+					continue
+				}
+				break
+			}
+			lifoTotal++
+			if len(newestStack) > 0 && newestStack[len(newestStack)-1] == e.ID {
+				lifoHits++
+				newestStack = newestStack[:len(newestStack)-1]
+			}
+			sizeLive[li.size] -= li.size
+			liveBytes -= li.size
+			liveBlocks--
+			lifetimes = append(lifetimes, int64(i-li.born))
+			pa.noteFree(li.size)
+		}
+	}
+	p.NeverFreed = int64(len(live))
+
+	// Size population.
+	for s, c := range sizeCount {
+		p.Sizes = append(p.Sizes, SizeStats{Size: s, Count: c, MaxLive: sizeLiveMax[s]})
+	}
+	sort.Slice(p.Sizes, func(i, j int) bool { return p.Sizes[i].Size < p.Sizes[j].Size })
+	p.DistinctSizes = len(p.Sizes)
+	if p.DistinctSizes > 0 {
+		p.MinSize = p.Sizes[0].Size
+		p.MaxSize = p.Sizes[p.DistinctSizes-1].Size
+	}
+	if p.Allocs > 0 {
+		p.MeanSize = sumSize / float64(p.Allocs)
+		variance := sumSize2/float64(p.Allocs) - p.MeanSize*p.MeanSize
+		if variance > 0 && p.MeanSize > 0 {
+			p.SizeCV = math.Sqrt(variance) / p.MeanSize
+		}
+	}
+
+	// Lifetimes.
+	if len(lifetimes) > 0 {
+		var sum int64
+		for _, l := range lifetimes {
+			sum += l
+		}
+		p.MeanLifetime = float64(sum) / float64(len(lifetimes))
+		sort.Slice(lifetimes, func(i, j int) bool { return lifetimes[i] < lifetimes[j] })
+		p.P95Lifetime = lifetimes[len(lifetimes)*95/100]
+	}
+	if lifoTotal > 0 {
+		p.LIFOScore = float64(lifoHits) / float64(lifoTotal)
+	}
+
+	// Phases.
+	var ids []int32
+	for id := range phases {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p.Phases = append(p.Phases, phases[id].finish())
+	}
+	return p
+}
+
+// phaseAcc accumulates one phase's statistics.
+type phaseAcc struct {
+	phase     int
+	events    int
+	allocs    int64
+	sizes     map[int64]int64
+	liveBytes int64
+	maxLive   int64
+	sumSize   float64
+	sumSize2  float64
+	lifoHits  int64
+	lifoTotal int64
+	stack     []int64 // sizes in LIFO order (approximation per phase)
+}
+
+func newPhaseAcc(phase int) *phaseAcc {
+	return &phaseAcc{phase: phase, sizes: make(map[int64]int64)}
+}
+
+func liveBytesOfPhase(pa *phaseAcc, add int64) int64 { return pa.liveBytes + add }
+
+func (pa *phaseAcc) noteAlloc(size, _ int64) {
+	pa.allocs++
+	pa.sizes[size]++
+	pa.liveBytes += size
+	if pa.liveBytes > pa.maxLive {
+		pa.maxLive = pa.liveBytes
+	}
+	pa.sumSize += float64(size)
+	pa.sumSize2 += float64(size) * float64(size)
+	pa.stack = append(pa.stack, size)
+}
+
+func (pa *phaseAcc) noteFree(size int64) {
+	pa.liveBytes -= size
+	pa.lifoTotal++
+	if n := len(pa.stack); n > 0 && pa.stack[n-1] == size {
+		pa.lifoHits++
+		pa.stack = pa.stack[:n-1]
+	}
+}
+
+func (pa *phaseAcc) finish() PhaseProfile {
+	pp := PhaseProfile{
+		Phase:         pa.phase,
+		Events:        pa.events,
+		Allocs:        pa.allocs,
+		DistinctSizes: len(pa.sizes),
+		MaxLiveBytes:  pa.maxLive,
+	}
+	var min, max int64
+	for s := range pa.sizes {
+		if min == 0 || s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	pp.MinSize, pp.MaxSize = min, max
+	if pa.allocs > 0 {
+		mean := pa.sumSize / float64(pa.allocs)
+		variance := pa.sumSize2/float64(pa.allocs) - mean*mean
+		if variance > 0 && mean > 0 {
+			pp.SizeCV = math.Sqrt(variance) / mean
+		}
+	}
+	if pa.lifoTotal > 0 {
+		pp.LIFOScore = float64(pa.lifoHits) / float64(pa.lifoTotal)
+	}
+	return pp
+}
+
+// TopSizes returns the n most frequent request sizes, descending by count
+// (ties broken by size); used to derive class-size parameters.
+func (p *Profile) TopSizes(n int) []int64 {
+	byCount := append([]SizeStats(nil), p.Sizes...)
+	sort.Slice(byCount, func(i, j int) bool {
+		if byCount[i].Count != byCount[j].Count {
+			return byCount[i].Count > byCount[j].Count
+		}
+		return byCount[i].Size < byCount[j].Size
+	})
+	if n > len(byCount) {
+		n = len(byCount)
+	}
+	out := make([]int64, 0, n)
+	for _, s := range byCount[:n] {
+		out = append(out, s.Size)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,168 @@
+package profile
+
+import (
+	"testing"
+
+	"dmmkit/internal/trace"
+)
+
+func TestBasicCounts(t *testing.T) {
+	b := trace.NewBuilder("t")
+	a1 := b.Alloc(100, 0)
+	a2 := b.Alloc(100, 1)
+	a3 := b.Alloc(500, 0)
+	b.Free(a3)
+	b.Free(a2)
+	b.Free(a1)
+	p := FromTrace(b.Build())
+	if p.Allocs != 3 || p.Frees != 3 {
+		t.Errorf("Allocs/Frees = %d/%d, want 3/3", p.Allocs, p.Frees)
+	}
+	if p.DistinctSizes != 2 {
+		t.Errorf("DistinctSizes = %d, want 2", p.DistinctSizes)
+	}
+	if p.MinSize != 100 || p.MaxSize != 500 {
+		t.Errorf("size range = [%d,%d], want [100,500]", p.MinSize, p.MaxSize)
+	}
+	if p.MaxLiveBytes != 700 {
+		t.Errorf("MaxLiveBytes = %d, want 700", p.MaxLiveBytes)
+	}
+	if p.TagMax[0] != 500 || p.TagMax[1] != 100 {
+		t.Errorf("TagMax = %v", p.TagMax)
+	}
+	if p.NeverFreed != 0 {
+		t.Errorf("NeverFreed = %d, want 0", p.NeverFreed)
+	}
+}
+
+func TestLIFOScoreHighForStackPattern(t *testing.T) {
+	b := trace.NewBuilder("stack")
+	var ids []int64
+	for i := 0; i < 100; i++ {
+		ids = append(ids, b.Alloc(64, 0))
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		b.Free(ids[i])
+	}
+	p := FromTrace(b.Build())
+	if p.LIFOScore < 0.99 {
+		t.Errorf("LIFOScore = %.2f for pure stack pattern, want ~1", p.LIFOScore)
+	}
+}
+
+func TestLIFOScoreLowForFIFOPattern(t *testing.T) {
+	b := trace.NewBuilder("queue")
+	var ids []int64
+	for i := 0; i < 100; i++ {
+		ids = append(ids, b.Alloc(64, 0))
+	}
+	for _, id := range ids {
+		b.Free(id)
+	}
+	p := FromTrace(b.Build())
+	if p.LIFOScore > 0.10 {
+		t.Errorf("LIFOScore = %.2f for pure queue pattern, want ~0", p.LIFOScore)
+	}
+}
+
+func TestSizeCVZeroForUniformSizes(t *testing.T) {
+	b := trace.NewBuilder("uniform")
+	for i := 0; i < 50; i++ {
+		b.Alloc(256, 0)
+	}
+	p := FromTrace(b.Build())
+	if p.SizeCV > 1e-9 {
+		t.Errorf("SizeCV = %f for uniform sizes, want 0", p.SizeCV)
+	}
+}
+
+func TestSizeCVHighForVariableSizes(t *testing.T) {
+	b := trace.NewBuilder("variable")
+	for i := 0; i < 50; i++ {
+		b.Alloc(40, 0)
+		b.Alloc(1500, 0)
+	}
+	p := FromTrace(b.Build())
+	if p.SizeCV < 0.5 {
+		t.Errorf("SizeCV = %f for bimodal sizes, want high", p.SizeCV)
+	}
+}
+
+func TestPhasesSeparated(t *testing.T) {
+	b := trace.NewBuilder("phases")
+	b.SetPhase(0)
+	a := b.Alloc(100, 0)
+	b.Free(a)
+	b.SetPhase(1)
+	for i := 0; i < 10; i++ {
+		b.Alloc(2000, 0)
+	}
+	p := FromTrace(b.Build())
+	if len(p.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(p.Phases))
+	}
+	if p.Phases[0].Phase != 0 || p.Phases[1].Phase != 1 {
+		t.Errorf("phase ids = %d,%d", p.Phases[0].Phase, p.Phases[1].Phase)
+	}
+	if p.Phases[0].MaxSize != 100 || p.Phases[1].MaxSize != 2000 {
+		t.Errorf("per-phase max sizes = %d,%d", p.Phases[0].MaxSize, p.Phases[1].MaxSize)
+	}
+	if p.Phases[1].MaxLiveBytes != 20000 {
+		t.Errorf("phase 1 MaxLiveBytes = %d, want 20000", p.Phases[1].MaxLiveBytes)
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	b := trace.NewBuilder("life")
+	a1 := b.Alloc(10, 0) // freed after 2 events
+	a2 := b.Alloc(10, 0) // freed after 2 events
+	b.Free(a1)
+	b.Free(a2)
+	b.Alloc(10, 0) // never freed
+	p := FromTrace(b.Build())
+	if p.MeanLifetime != 2 {
+		t.Errorf("MeanLifetime = %f, want 2", p.MeanLifetime)
+	}
+	if p.NeverFreed != 1 {
+		t.Errorf("NeverFreed = %d, want 1", p.NeverFreed)
+	}
+}
+
+func TestTopSizes(t *testing.T) {
+	b := trace.NewBuilder("top")
+	for i := 0; i < 30; i++ {
+		b.Alloc(40, 0)
+	}
+	for i := 0; i < 20; i++ {
+		b.Alloc(1500, 0)
+	}
+	for i := 0; i < 5; i++ {
+		b.Alloc(576, 0)
+	}
+	p := FromTrace(b.Build())
+	top := p.TopSizes(2)
+	if len(top) != 2 || top[0] != 40 || top[1] != 1500 {
+		t.Errorf("TopSizes(2) = %v, want [40 1500]", top)
+	}
+	all := p.TopSizes(10)
+	if len(all) != 3 {
+		t.Errorf("TopSizes(10) returned %d sizes, want 3", len(all))
+	}
+}
+
+func TestPerSizeMaxLive(t *testing.T) {
+	b := trace.NewBuilder("persize")
+	a1 := b.Alloc(100, 0)
+	a2 := b.Alloc(100, 0) // peak 200 for size 100
+	b.Free(a1)
+	b.Free(a2)
+	a3 := b.Alloc(100, 0)
+	b.Free(a3)
+	p := FromTrace(b.Build())
+	if len(p.Sizes) != 1 || p.Sizes[0].MaxLive != 200 {
+		t.Errorf("Sizes = %+v, want one entry with MaxLive 200", p.Sizes)
+	}
+	if p.Sizes[0].Count != 3 {
+		t.Errorf("Count = %d, want 3", p.Sizes[0].Count)
+	}
+}

@@ -1,0 +1,124 @@
+// Package textplot renders small ASCII line charts and bar tables for the
+// command-line experiment reports (Figure 5 of the paper is reproduced as
+// a footprint-over-time chart).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Plot renders the series into a width x height character chart with a
+// y-axis legend. X ranges are merged across series.
+func Plot(width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // footprint charts anchor y at 0
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxY <= minY {
+		return "(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			col := 0
+			if maxX > minX {
+				col = int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			}
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mk
+		}
+	}
+	var b strings.Builder
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7s ", SI(maxY))
+		case height - 1:
+			label = fmt.Sprintf("%7s ", SI(minY))
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", 8) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(fmt.Sprintf("%9s%-*s%s\n", SI(minX), width-6, "", SI(maxX)))
+	for si, s := range series {
+		b.WriteString(fmt.Sprintf("  %c = %s\n", markers[si%len(markers)], s.Name))
+	}
+	return b.String()
+}
+
+// SI formats a value with engineering suffixes (k, M, G).
+func SI(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Bar renders a labelled horizontal bar chart scaled to the largest value.
+func Bar(rows []BarRow, width int) string {
+	var max float64
+	for _, r := range rows {
+		if r.Value > max {
+			max = r.Value
+		}
+	}
+	if max == 0 {
+		return "(no data)\n"
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		n := int(r.Value / max * float64(width))
+		b.WriteString(fmt.Sprintf("%-22s %8s |%s\n", r.Label, SI(r.Value), strings.Repeat("=", n)))
+	}
+	return b.String()
+}
+
+// BarRow is one bar of a Bar chart.
+type BarRow struct {
+	Label string
+	Value float64
+}

@@ -1,0 +1,83 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	s := Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}}
+	out := Plot(40, 8, s)
+	if !strings.Contains(out, "* = line") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "30") {
+		t.Errorf("y-axis max missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Errorf("plot has %d lines, want >= 10", len(lines))
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no markers plotted")
+	}
+}
+
+func TestPlotMultipleSeriesDistinctMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{1, 2}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{2, 1}}
+	out := Plot(30, 6, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if out := Plot(30, 6); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+	flat := Series{Name: "flat", X: []float64{0, 1}, Y: []float64{0, 0}}
+	if out := Plot(30, 6, flat); !strings.Contains(out, "no data") {
+		t.Errorf("flat-zero plot should be no data, got:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	s := Series{Name: "x", X: []float64{0, 1}, Y: []float64{0, 5}}
+	out := Plot(1, 1, s)
+	if len(out) == 0 {
+		t.Error("clamped plot empty")
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1500, "1.5k"}, {2.5e6, "2.50M"}, {3e9, "3.00G"},
+	}
+	for _, c := range cases {
+		if got := SI(c.v); got != c.want {
+			t.Errorf("SI(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	rows := []BarRow{{"a", 100}, {"b", 50}, {"c", 0}}
+	out := Bar(rows, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if strings.Count(lines[0], "=") != 20 {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "=") != 10 {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if Bar(nil, 10) != "(no data)\n" {
+		t.Error("empty bar chart")
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import "dmmkit/internal/mm"
+
+// Application work model. The paper measures execution time of the whole
+// application, not of the allocator in isolation: its custom managers cost
+// "only a 10% overhead (on average) over the execution time of the fastest
+// general-purpose DM manager" because allocator cycles are a modest share
+// of packet processing, image analysis or rendering work.
+//
+// AppWork estimates the application's own work for a trace in the same
+// abstract units as mm.Work (about one unit per memory access): a fixed
+// per-operation cost for the surrounding logic plus a per-byte cost for
+// touching the allocated data (packets are forwarded, images scanned,
+// records initialized). The constants are deliberately conservative — the
+// real applications do far more than one pass over their data.
+const (
+	appAllocFixed mm.Work = 150 // request handling around each allocation
+	appFreeFixed  mm.Work = 100 // bookkeeping around each deallocation
+	appBytesShift         = 3   // one unit per 8 bytes of payload touched
+)
+
+// AppWork returns the modelled application work for a trace.
+func AppWork(t *Trace) mm.Work {
+	var w mm.Work
+	for _, e := range t.Events {
+		if e.Kind == KindAlloc {
+			w += appAllocFixed + mm.Work(e.Size>>appBytesShift)
+		} else {
+			w += appFreeFixed
+		}
+	}
+	return w
+}

@@ -1,0 +1,29 @@
+package trace
+
+import "testing"
+
+func TestAppWorkModel(t *testing.T) {
+	b := NewBuilder("w")
+	id := b.Alloc(800, 0) // 150 + 800>>3 = 250
+	b.Free(id)            // +100
+	got := AppWork(b.Build())
+	if got != 350 {
+		t.Errorf("AppWork = %d, want 350", got)
+	}
+}
+
+func TestAppWorkScalesWithSize(t *testing.T) {
+	small := NewBuilder("s")
+	small.Alloc(8, 0)
+	big := NewBuilder("b")
+	big.Alloc(1<<20, 0)
+	if AppWork(small.Build()) >= AppWork(big.Build()) {
+		t.Error("app work does not grow with payload size")
+	}
+}
+
+func TestAppWorkEmpty(t *testing.T) {
+	if w := AppWork(&Trace{}); w != 0 {
+		t.Errorf("AppWork(empty) = %d", w)
+	}
+}

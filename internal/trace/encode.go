@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Binary format: magic, name, event count, then per event a kind byte and
+// varint-encoded fields (deltas for tick to keep traces compact).
+const binaryMagic = "DMMT1\n"
+
+// EncodeBinary writes the trace in the compact binary format.
+func (t *Trace) EncodeBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	var lastTick int64
+	for _, e := range t.Events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.ID)); err != nil {
+			return err
+		}
+		if e.Kind == KindAlloc {
+			if err := putUvarint(uint64(e.Size)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(e.Tag)); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(e.Phase)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.Tick - lastTick)); err != nil {
+			return err
+		}
+		lastTick = e.Tick
+	}
+	return bw.Flush()
+}
+
+// DecodeBinary reads a trace written by EncodeBinary.
+func DecodeBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: name length %d too large", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("trace: event count %d too large", count)
+	}
+	t := &Trace{Name: string(name), Events: make([]Event, 0, count)}
+	var lastTick int64
+	for i := uint64(0); i < count; i++ {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e := Event{Kind: Kind(kb)}
+		if e.Kind != KindAlloc && e.Kind != KindFree {
+			return nil, fmt.Errorf("trace: event %d: bad kind %d", i, kb)
+		}
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		e.ID = int64(id)
+		if e.Kind == KindAlloc {
+			size, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			tag, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			e.Size, e.Tag = int64(size), int32(tag)
+		}
+		phase, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		e.Phase = int32(phase)
+		e.Tick = lastTick + int64(dt)
+		lastTick = e.Tick
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+// EncodeJSON writes the trace as indented JSON (for inspection and
+// interchange).
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// DecodeJSON reads a JSON trace.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+)
+
+// Point is one sample of the footprint evolution during replay — the data
+// behind Figure 5 of the paper.
+type Point struct {
+	Index     int   // event index
+	Tick      int64 // application time
+	Footprint int64 // bytes requested from the system
+	Live      int64 // bytes requested by the application
+}
+
+// Result summarizes a replay run.
+type Result struct {
+	Manager      string
+	TraceName    string
+	Events       int
+	MaxFootprint int64 // peak system memory: the paper's metric
+	MaxLive      int64 // peak requested bytes (lower bound)
+	Final        int64 // footprint after the last event
+	Work         mm.Work
+	Stats        mm.Stats
+	Series       []Point // populated when RunOpts.SampleEvery > 0
+}
+
+// Overhead returns MaxFootprint relative to the workload's peak live bytes
+// (1.0 = perfect).
+func (r Result) Overhead() float64 {
+	if r.MaxLive == 0 {
+		return 0
+	}
+	return float64(r.MaxFootprint) / float64(r.MaxLive)
+}
+
+// RunOpts configures a replay.
+type RunOpts struct {
+	// SampleEvery records a Series point every N events (0 = no series).
+	SampleEvery int
+}
+
+// Run replays a trace against a manager, returning footprint statistics.
+// The manager is used as-is (callers Reset or construct fresh managers for
+// independent runs).
+func Run(m mm.Manager, t *Trace, opts RunOpts) (Result, error) {
+	addrs := make(map[int64]heap.Addr, 256)
+	res := Result{Manager: m.Name(), TraceName: t.Name, Events: len(t.Events)}
+	for i, e := range t.Events {
+		switch e.Kind {
+		case KindAlloc:
+			p, err := m.Alloc(mm.Request{Size: e.Size, Tag: int(e.Tag), Phase: int(e.Phase)})
+			if err != nil {
+				return res, fmt.Errorf("replay %q on %s: event %d: alloc %d bytes: %w", t.Name, m.Name(), i, e.Size, err)
+			}
+			addrs[e.ID] = p
+		case KindFree:
+			p, ok := addrs[e.ID]
+			if !ok {
+				return res, fmt.Errorf("replay %q on %s: event %d: free of unknown id %d", t.Name, m.Name(), i, e.ID)
+			}
+			delete(addrs, e.ID)
+			if err := m.Free(p); err != nil {
+				return res, fmt.Errorf("replay %q on %s: event %d: free id %d: %w", t.Name, m.Name(), i, e.ID, err)
+			}
+		default:
+			return res, fmt.Errorf("replay %q: event %d: bad kind %d", t.Name, i, e.Kind)
+		}
+		if opts.SampleEvery > 0 && i%opts.SampleEvery == 0 {
+			res.Series = append(res.Series, Point{
+				Index: i, Tick: e.Tick, Footprint: m.Footprint(), Live: m.Stats().LiveBytes,
+			})
+		}
+	}
+	res.MaxFootprint = m.MaxFootprint()
+	res.Final = m.Footprint()
+	res.Stats = m.Stats()
+	res.MaxLive = res.Stats.MaxLive
+	res.Work = res.Stats.Work
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package drr
+
+import (
+	"testing"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+
+	"dmmkit/internal/alloc/kingsley"
+	"dmmkit/internal/alloc/lea"
+)
+
+func TestTraceValidAndBalanced(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.LiveAtEnd() != 0 {
+		t.Errorf("LiveAtEnd = %d, want 0 (all packets forwarded)", tr.LiveAtEnd())
+	}
+	if res.Forwarded != res.Packets {
+		t.Errorf("forwarded %d of %d packets", res.Forwarded, res.Packets)
+	}
+	if len(tr.Events) < 10000 {
+		t.Errorf("only %d events; trace too small to be interesting", len(tr.Events))
+	}
+}
+
+func TestQueueBuildupIsSubstantial(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := res.Trace.MaxLiveBytes()
+	// The paper's DRR custom manager peaks at ~148 KB; the synthetic
+	// traffic should produce backlogs in the same regime.
+	if peak < 40<<10 {
+		t.Errorf("peak live bytes = %d, want bursty backlog of at least 40 KiB", peak)
+	}
+	if peak > 1<<20 {
+		t.Errorf("peak live bytes = %d, unrealistically large", peak)
+	}
+}
+
+func TestProfileShowsVariableSizes(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.FromTrace(res.Trace)
+	if p.DistinctSizes < 20 {
+		t.Errorf("DistinctSizes = %d, want many (variable packet sizes)", p.DistinctSizes)
+	}
+	if p.SizeCV < 0.3 {
+		t.Errorf("SizeCV = %.2f, want high variability", p.SizeCV)
+	}
+	if p.TagMax[TagFlow] != 96 {
+		t.Errorf("flow tag max = %d, want 96", p.TagMax[TagFlow])
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := BuildTrace(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTrace(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.Events) != len(b.Trace.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Trace.Events), len(b.Trace.Events))
+	}
+	for i := range a.Trace.Events {
+		if a.Trace.Events[i] != b.Trace.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestReplaysOnRealManagers(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kingsley.New(heap.New(heap.Config{}))
+	rk, err := trace.Run(k, res.Trace, trace.RunOpts{})
+	if err != nil {
+		t.Fatalf("kingsley replay: %v", err)
+	}
+	l := lea.New(heap.New(heap.Config{}), lea.Config{})
+	rl, err := trace.Run(l, res.Trace, trace.RunOpts{})
+	if err != nil {
+		t.Fatalf("lea replay: %v", err)
+	}
+	// The paper's headline DRR shape: Lea's footprint is far below
+	// Kingsley's on this workload.
+	if rl.MaxFootprint >= rk.MaxFootprint {
+		t.Errorf("Lea footprint %d >= Kingsley %d; expected Kingsley to waste much more", rl.MaxFootprint, rk.MaxFootprint)
+	}
+}
+
+func TestDrainFactorControlsBacklog(t *testing.T) {
+	slow, err := BuildTrace(Config{Seed: 5, DrainFactor: 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := BuildTrace(Config{Seed: 5, DrainFactor: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.PeakQueued >= slow.PeakQueued {
+		t.Errorf("faster drain should reduce backlog: fast=%d slow=%d", fast.PeakQueued, slow.PeakQueued)
+	}
+}

@@ -1,0 +1,158 @@
+// Package recon3d reproduces the dynamic-memory behaviour of the paper's
+// second case study: the corner-matching sub-algorithm of a metric 3D
+// reconstruction pipeline (Pollefeys et al.; Target Jr implementation).
+// The relative displacement of features between consecutive frames feeds
+// the depth reconstruction; the memory-intensive part is the per-frame
+// corner sets, the per-corner candidate match lists, and the growing cloud
+// of reconstructed 3D points.
+//
+// The original pipeline is 1.75 MLoC of C++; what the DM manager sees is
+// reproduced here faithfully: two ~300 KB frame buffers live at a time,
+// thousands of small corner/candidate/match records with unpredictable
+// counts (they depend on image content), heavy churn of candidate lists,
+// and a point cloud that survives across frame pairs.
+//
+// Allocation tags: 0 = frame buffer, 1 = corner record, 2 = match
+// candidate, 3 = 3D point.
+package recon3d
+
+import (
+	"fmt"
+
+	"dmmkit/internal/img"
+	"dmmkit/internal/trace"
+)
+
+// Record sizes (bytes) of the dynamic data types, matching the C++
+// structures of the original (pointers+fields on a 32-bit target).
+const (
+	cornerBytes    = 32
+	candidateBytes = 24
+	pointBytes     = 40
+)
+
+// Allocation tags used in the emitted trace.
+const (
+	TagFrame     = 0
+	TagCorner    = 1
+	TagCandidate = 2
+	TagPoint     = 3
+)
+
+// Config controls the reconstruction run.
+type Config struct {
+	Seed      int64
+	Pairs     int   // frame pairs to process (default 6)
+	W, H      int   // frame size (default 640x480)
+	Threshold int32 // corner threshold (default 600)
+}
+
+func (c *Config) defaults() {
+	if c.Pairs == 0 {
+		c.Pairs = 6
+	}
+	if c.W == 0 {
+		c.W = 640
+	}
+	if c.H == 0 {
+		c.H = 480
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 600
+	}
+}
+
+// Result carries the trace plus algorithm-level statistics.
+type Result struct {
+	Trace     *trace.Trace
+	Corners   int // total detected corners
+	Matches   int // accepted matches (3D points)
+	PeakBytes int64
+}
+
+// BuildTrace runs the reconstruction kernel and records its allocation
+// trace.
+func BuildTrace(cfg Config) (*Result, error) {
+	cfg.defaults()
+	b := trace.NewBuilder(fmt.Sprintf("recon3d-seed%d", cfg.Seed))
+	res := &Result{}
+
+	var pointIDs []int64 // the 3D point cloud, freed at the very end
+
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		scene := img.Scene{Seed: cfg.Seed + int64(pair*977), W: cfg.W, H: cfg.H,
+			Blobs: 40 + int(cfg.Seed+int64(pair*13))%40}
+		frameA := scene.Render(0, 0)
+		frameB := scene.Render(3+pair%5, 2+pair%3) // camera displacement
+
+		// Allocate the two frame buffers.
+		idA := b.Alloc(frameA.Bytes(), TagFrame)
+		idB := b.Alloc(frameB.Bytes(), TagFrame)
+		b.Tick()
+
+		// Detect corners in both frames; each corner is a dynamic record.
+		cornersA := img.DetectCorners(frameA, cfg.Threshold)
+		cornersB := img.DetectCorners(frameB, cfg.Threshold)
+		res.Corners += len(cornersA) + len(cornersB)
+		cornerIDsA := make([]int64, len(cornersA))
+		for i := range cornersA {
+			cornerIDsA[i] = b.Alloc(cornerBytes, TagCorner)
+		}
+		cornerIDsB := make([]int64, len(cornersB))
+		for i := range cornersB {
+			cornerIDsB[i] = b.Alloc(cornerBytes, TagCorner)
+		}
+		b.Tick()
+
+		// Match: for each corner in A, build a candidate list of nearby
+		// corners in B (dynamic, data-dependent), score patches, keep the
+		// best as a reconstructed 3D point. Candidate lists are freed
+		// after each corner: the churn the custom manager must absorb.
+		for i, ca := range cornersA {
+			var candIDs []int64
+			best := int64(-1)
+			var bestDist int64
+			for _, cb := range cornersB {
+				dx, dy := ca.X-cb.X, ca.Y-cb.Y
+				if dx < -img.MatchWindow || dx > img.MatchWindow || dy < -img.MatchWindow || dy > img.MatchWindow {
+					continue
+				}
+				candIDs = append(candIDs, b.Alloc(candidateBytes, TagCandidate))
+				d := img.PatchDistance(frameA, ca, frameB, cb)
+				if best < 0 || d < bestDist {
+					best, bestDist = int64(len(candIDs)-1), d
+				}
+			}
+			for _, id := range candIDs {
+				b.Free(id)
+			}
+			if best >= 0 && bestDist < 50000 {
+				pointIDs = append(pointIDs, b.Alloc(pointBytes, TagPoint))
+				res.Matches++
+			}
+			if i%64 == 63 {
+				b.Tick()
+			}
+		}
+
+		// Release the per-pair structures; the point cloud persists.
+		for _, id := range cornerIDsA {
+			b.Free(id)
+		}
+		for _, id := range cornerIDsB {
+			b.Free(id)
+		}
+		b.Free(idA)
+		b.Free(idB)
+		b.Tick()
+	}
+	for _, id := range pointIDs {
+		b.Free(id)
+	}
+	res.Trace = b.Build()
+	res.PeakBytes = res.Trace.MaxLiveBytes()
+	if err := res.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("recon3d: emitted invalid trace: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package recon3d
+
+import (
+	"testing"
+
+	"dmmkit/internal/profile"
+)
+
+func TestTraceValidAndBalanced(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 1, Pairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.LiveAtEnd() != 0 {
+		t.Errorf("LiveAtEnd = %d, want 0", res.Trace.LiveAtEnd())
+	}
+	if res.Corners < 200 {
+		t.Errorf("only %d corners; scenes too flat", res.Corners)
+	}
+	if res.Matches < 50 {
+		t.Errorf("only %d matches", res.Matches)
+	}
+}
+
+func TestPeakDominatedByFrames(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 2, Pairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 640x480 frames = 614400 bytes must dominate the peak.
+	if res.PeakBytes < 614400 {
+		t.Errorf("peak %d below two frame buffers", res.PeakBytes)
+	}
+	if res.PeakBytes > 3<<20 {
+		t.Errorf("peak %d unrealistically large", res.PeakBytes)
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 3, Pairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.FromTrace(res.Trace)
+	if p.TagMax[TagFrame] != 640*480 {
+		t.Errorf("frame tag max = %d, want %d", p.TagMax[TagFrame], 640*480)
+	}
+	if p.TagMax[TagCorner] != cornerBytes || p.TagMax[TagCandidate] != candidateBytes {
+		t.Errorf("record tag maxima = %v", p.TagMax)
+	}
+	// Candidate churn should dominate allocation counts.
+	var candCount int64
+	for _, s := range p.Sizes {
+		if s.Size == candidateBytes {
+			candCount = s.Count
+		}
+	}
+	if candCount < 1000 {
+		t.Errorf("only %d candidate allocations; matching churn too small", candCount)
+	}
+}
+
+func TestCornerCountsVaryAcrossPairs(t *testing.T) {
+	a, err := BuildTrace(Config{Seed: 4, Pairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTrace(Config{Seed: 5, Pairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Corners == b.Corners {
+		t.Error("corner populations identical across seeds; inputs must be unpredictable")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := BuildTrace(Config{Seed: 6, Pairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTrace(Config{Seed: 6, Pairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.Events) != len(b.Trace.Events) {
+		t.Fatal("event counts differ for same seed")
+	}
+}

@@ -1,0 +1,217 @@
+// Package render3d reproduces the paper's third case study: a 3D video
+// rendering system based on scalable meshes, where the quality (level of
+// detail) of each object adapts to the position of the viewer under a QoS
+// budget, as in interactive QoS frameworks for 3D applications.
+//
+// The DM behaviour has three phases, matching the paper's discussion of
+// Obstacks:
+//
+//   - Phase 0 (scene load): base meshes are loaded into per-object vertex
+//     and face arrays — allocations only, purely stack-like.
+//   - Phase 1 (approach): objects refine toward the viewer in per-object
+//     bursts, materializing vertex/face records; per-frame render scratch
+//     buffers are freed LIFO at frame end. Obstack heaven.
+//   - Phase 2 (departure/QoS reshuffle): half the objects leave the view
+//     and shed their refinement records in screen-space (shuffled,
+//     non-LIFO) order, while the remaining objects gain high-detail
+//     textured records of different sizes. Allocators that reuse the
+//     released memory stay near the live volume; an obstack cannot
+//     reclaim out-of-order frees and keeps growing — "Obstacks cannot
+//     exploit its stack-like optimizations in the final phases of the
+//     rendering process" (Sec. 5). Power-of-two class allocators cannot
+//     recycle the old classes for the new record sizes either.
+//
+// Allocation tags: 0 = vertex record, 1 = face record, 2 = frame scratch,
+// 3 = base-mesh array, 4 = detail (textured) record.
+package render3d
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmmkit/internal/mesh"
+	"dmmkit/internal/trace"
+)
+
+// Allocation tags used in the emitted trace.
+const (
+	TagVertex  = 0
+	TagFace    = 1
+	TagScratch = 2
+	TagBase    = 3
+	TagDetail  = 4
+)
+
+// Detail-record sizes of the textured close-up representation (phase 2).
+// They deliberately occupy different power-of-two classes than the plain
+// vertex/face records, as textured attribute sets do.
+const (
+	detailVertexBytes = 232
+	detailFaceBytes   = 120
+)
+
+// Phases of the workload.
+const (
+	PhaseLoad = iota
+	PhaseAnimate
+	PhaseTeardown
+)
+
+// Config controls the rendering run.
+type Config struct {
+	Seed    int64
+	Objects int // scene objects (default 8)
+	BaseRes int // base mesh resolution (default 8: 64 verts)
+	Detail  int // refinement levels per object (default 1500)
+	Frames  int // animation frames per phase (default 96)
+}
+
+func (c *Config) defaults() {
+	if c.Objects == 0 {
+		c.Objects = 8
+	}
+	if c.BaseRes == 0 {
+		c.BaseRes = 8
+	}
+	if c.Detail == 0 {
+		c.Detail = 1000
+	}
+	if c.Frames == 0 {
+		c.Frames = 96
+	}
+}
+
+// Result carries the trace and renderer statistics.
+type Result struct {
+	Trace     *trace.Trace
+	Objects   int
+	MaxLOD    int
+	PeakBytes int64
+}
+
+// BuildTrace runs the renderer and records its allocation trace.
+func BuildTrace(cfg Config) (*Result, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x51ED))
+	b := trace.NewBuilder(fmt.Sprintf("render3d-seed%d", cfg.Seed))
+	res := &Result{Objects: cfg.Objects}
+
+	allocRecord := func(size int64) int64 {
+		if size == mesh.VertexBytes {
+			return b.Alloc(size, TagVertex)
+		}
+		return b.Alloc(size, TagFace)
+	}
+
+	// Phase 0: load the scene. Base meshes live in per-object arrays.
+	b.SetPhase(PhaseLoad)
+	objs := make([]*mesh.Instance, cfg.Objects)
+	baseArrIDs := make([][]int64, cfg.Objects)
+	for i := range objs {
+		p := mesh.Generate(cfg.Seed+int64(i*131), cfg.BaseRes, cfg.Detail)
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		objs[i] = mesh.NewInstance(p)
+		baseArrIDs[i] = []int64{
+			b.Alloc(int64(len(p.BaseVerts))*mesh.VertexBytes, TagBase),
+			b.Alloc(int64(len(p.BaseFaces))*mesh.FaceBytes, TagBase),
+		}
+		b.Tick()
+	}
+
+	// Phase 1: approach. One object refines per frame (round robin), so
+	// each object's records stay mostly contiguous in the heap; scratch
+	// buffers churn LIFO within each frame.
+	b.SetPhase(PhaseAnimate)
+	for frame := 0; frame < cfg.Frames; frame++ {
+		o := objs[frame%cfg.Objects]
+		target := o.P.MaxLOD() * (frame/cfg.Objects + 1) * cfg.Objects / cfg.Frames
+		for o.LOD() < target {
+			if !o.Refine(allocRecord) {
+				break
+			}
+		}
+		if o.LOD() > res.MaxLOD {
+			res.MaxLOD = o.LOD()
+		}
+		// Render scratch: command/sort buffers whose size regime drifts
+		// with the scene composition every 8 frames (display lists grow
+		// as detail accumulates). Freed LIFO at frame end.
+		regime := int64(256) << uint((frame/8)%7)
+		var scratch []int64
+		var scratchBytes int64
+		for scratchBytes < 160<<10 {
+			size := regime/2 + rng.Int63n(regime)
+			scratch = append(scratch, b.Alloc(size, TagScratch))
+			scratchBytes += size
+		}
+		for s := len(scratch) - 1; s >= 0; s-- {
+			b.Free(scratch[s])
+		}
+		b.Tick()
+	}
+
+	// Phase 2: departure and QoS reshuffle. Even-indexed objects leave:
+	// their records are freed in shuffled (screen-space) order. Odd
+	// objects gain textured detail records of new sizes, paid for by the
+	// QoS budget the departing objects released.
+	b.SetPhase(PhaseTeardown)
+	var detailIDs []int64
+	shuffled := func(n int) []int { return rng.Perm(n) }
+	allocDetail := func(budget int64) {
+		for budget > 0 {
+			detailIDs = append(detailIDs, b.Alloc(detailVertexBytes, TagDetail))
+			budget -= detailVertexBytes
+			for k := 0; k < 2 && budget > 0; k++ {
+				detailIDs = append(detailIDs, b.Alloc(detailFaceBytes, TagDetail))
+				budget -= detailFaceBytes
+			}
+		}
+	}
+	levelBytes := int64(mesh.VertexBytes + 2*mesh.FaceBytes)
+	for i := 0; i < cfg.Objects; i += 2 {
+		// Departing object sheds everything (non-LIFO)...
+		released := int64(objs[i].LOD()) * levelBytes
+		objs[i].ReleaseAll(shuffled, func(id int64) { b.Free(id) })
+		b.Tick()
+		// ...and a surviving object gains detail records worth ~80% of
+		// the released budget, in the new record sizes.
+		allocDetail(released * 8 / 10)
+		b.Tick()
+	}
+	// QoS re-encode wave: surviving objects replace ~30% of their plain
+	// records with textured detail records (frees arrive in edge-collapse
+	// order from the middle of the allocation stack — non-LIFO again).
+	for i := 1; i < cfg.Objects; i += 2 {
+		o := objs[i]
+		replace := o.LOD() * 3 / 10
+		var reencoded int64
+		for r := 0; r < replace; r++ {
+			if !o.Coarsen(func(id int64) { b.Free(id) }) {
+				break
+			}
+			reencoded += levelBytes
+		}
+		allocDetail(reencoded)
+		b.Tick()
+	}
+	// Full teardown: remaining objects and arrays unload (screen order).
+	for i := 1; i < cfg.Objects; i += 2 {
+		objs[i].ReleaseAll(shuffled, func(id int64) { b.Free(id) })
+	}
+	for _, i := range rng.Perm(len(detailIDs)) {
+		b.Free(detailIDs[i])
+	}
+	for i := range baseArrIDs {
+		for _, id := range baseArrIDs[i] {
+			b.Free(id)
+		}
+	}
+	res.Trace = b.Build()
+	res.PeakBytes = res.Trace.MaxLiveBytes()
+	if err := res.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("render3d: emitted invalid trace: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package render3d
+
+import (
+	"testing"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+
+	"dmmkit/internal/alloc/obstack"
+)
+
+func TestTraceValidAndBalanced(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.LiveAtEnd() != 0 {
+		t.Errorf("LiveAtEnd = %d, want 0", res.Trace.LiveAtEnd())
+	}
+	if res.MaxLOD < 100 {
+		t.Errorf("MaxLOD = %d; objects barely refined", res.MaxLOD)
+	}
+}
+
+func TestThreePhases(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.FromTrace(res.Trace)
+	if len(p.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(p.Phases))
+	}
+	// Phase 0 (load) must be allocation-only and stack-like.
+	if p.Phases[0].LIFOScore < 0.0 {
+		t.Errorf("phase 0 LIFO score negative?")
+	}
+	// Phase 1 carries the bulk of the allocations.
+	if p.Phases[1].Allocs < p.Phases[0].Allocs {
+		t.Error("animation phase allocated less than load phase")
+	}
+}
+
+func TestPeakLiveInTargetRegime(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's render3d footprints are ~1-4 MB; the workload's live
+	// peak should sit under those in the hundreds-of-KB-to-MB regime.
+	if res.PeakBytes < 300<<10 {
+		t.Errorf("peak live %d too small", res.PeakBytes)
+	}
+	if res.PeakBytes > 8<<20 {
+		t.Errorf("peak live %d too large", res.PeakBytes)
+	}
+}
+
+func TestObstackSuffersInFinalPhase(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obstack.New(heap.New(heap.Config{}), 0)
+	r, err := trace.Run(m, res.Trace, trace.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The out-of-order departure phase must leave deferred dead bytes,
+	// pushing the obstack footprint visibly above the live peak.
+	if r.Overhead() < 1.2 {
+		t.Errorf("obstack overhead %.2f; the teardown phase should hurt it", r.Overhead())
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := BuildTrace(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTrace(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.Events) != len(b.Trace.Events) {
+		t.Fatal("event counts differ for same seed")
+	}
+	for i := range a.Trace.Events {
+		if a.Trace.Events[i] != b.Trace.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestScratchChurnsWithinFrames(t *testing.T) {
+	res, err := BuildTrace(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.FromTrace(res.Trace)
+	// Scratch allocations must exist and be fully freed (they never
+	// reach the teardown phase).
+	var scratchMax int64
+	for tag, max := range p.TagMax {
+		if tag == TagScratch {
+			scratchMax = max
+		}
+	}
+	if scratchMax < 1000 {
+		t.Errorf("scratch max size %d; variable display lists expected", scratchMax)
+	}
+}

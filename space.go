@@ -1,0 +1,87 @@
+package dmmkit
+
+import (
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/netsim"
+)
+
+// NetConfig parameterizes the synthetic internet-traffic generator used
+// by the DRR case study.
+type NetConfig = netsim.Config
+
+// Decision-tree identifiers (the paper's Fig. 1 trees, categories A-E).
+const (
+	TreeBlockStructure = dspace.A1BlockStructure // A1: DDT for free blocks
+	TreeBlockSizes     = dspace.A2BlockSizes     // A2: fixed vs variable sizes
+	TreeBlockTags      = dspace.A3BlockTags      // A3: header/footer fields
+	TreeRecordedInfo   = dspace.A4RecordedInfo   // A4: what the tags record
+	TreeFlexBlockSize  = dspace.A5FlexBlockSize  // A5: split/coalesce support
+	TreePoolDivision   = dspace.B1PoolDivision   // B1: pool division by size
+	TreePoolStruct     = dspace.B2PoolStruct     // B2: pool organization DDT
+	TreePoolPhase      = dspace.B3PoolPhase      // B3: pool division by phase
+	TreePoolRange      = dspace.B4PoolRange      // B4: block range per pool
+	TreeFit            = dspace.C1Fit            // C1: fit algorithm
+	TreeFreeOrder      = dspace.C2FreeOrder      // C2: free-list ordering
+	TreeMaxBlockSizes  = dspace.D1MaxBlockSizes  // D1: coalescing result sizes
+	TreeCoalesceWhen   = dspace.D2CoalesceWhen   // D2: when to coalesce
+	TreeMinBlockSizes  = dspace.E1MinBlockSizes  // E1: splitting result sizes
+	TreeSplitWhen      = dspace.E2SplitWhen      // E2: when to split
+)
+
+// Commonly used leaves (see package dspace for the full sets).
+const (
+	// A1 block structure.
+	SinglyLinked = dspace.SinglyLinked
+	DoublyLinked = dspace.DoublyLinked
+	SizeSorted   = dspace.SizeSorted
+	// A2 block sizes.
+	OneBlockSize   = dspace.OneBlockSize
+	ManyFixedSizes = dspace.ManyFixedSizes
+	ManyVarSizes   = dspace.ManyVarSizes
+	// A3 block tags.
+	NoTags       = dspace.NoTags
+	HeaderTag    = dspace.HeaderTag
+	HeaderFooter = dspace.HeaderFooter
+	// A4 recorded info.
+	RecordNone           = dspace.RecordNone
+	RecordSize           = dspace.RecordSize
+	RecordSizeStatus     = dspace.RecordSizeStatus
+	RecordSizeStatusPrev = dspace.RecordSizeStatusPrev
+	// A5 flexible block size manager.
+	NoFlex        = dspace.NoFlex
+	SplitOnly     = dspace.SplitOnly
+	CoalesceOnly  = dspace.CoalesceOnly
+	SplitCoalesce = dspace.SplitCoalesce
+	// B1 pool division.
+	SinglePool   = dspace.SinglePool
+	PoolPerClass = dspace.PoolPerClass
+	// B4 pool range.
+	FixedSizePerPool = dspace.FixedSizePerPool
+	Pow2Classes      = dspace.Pow2Classes
+	ExactClasses     = dspace.ExactClasses
+	AnyRange         = dspace.AnyRange
+	// C1 fit algorithms.
+	FirstFit = dspace.FirstFit
+	NextFit  = dspace.NextFit
+	BestFit  = dspace.BestFit
+	WorstFit = dspace.WorstFit
+	ExactFit = dspace.ExactFit
+	// D2/E2 scheduling.
+	Never    = dspace.Never
+	Deferred = dspace.Deferred
+	Always   = dspace.Always
+	// D1/E1 result sizes.
+	OneResultSize = dspace.OneResultSize
+	ManyFixedSet  = dspace.ManyFixedSet
+	ManyNotFixed  = dspace.ManyNotFixed
+)
+
+// LeafName returns the display name of a leaf of a tree.
+func LeafName(t Tree, l Leaf) string { return dspace.LeafName(t, l) }
+
+// TraversalOrder returns the paper's tree traversal order for reduced
+// memory footprint (Sec. 4.2).
+func TraversalOrder() []Tree { return append([]Tree(nil), dspace.Order...) }
+
+// ExplainVector lists every interdependency a vector violates.
+func ExplainVector(v Vector) []string { return dspace.Explain(&v) }
