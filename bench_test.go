@@ -50,6 +50,7 @@ func benchReplay(b *testing.B, w experiments.Workload, m experiments.ManagerName
 	b.Helper()
 	tr, prof := workloadTrace(b, w)
 	var last trace.Result
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mgr, err := experiments.NewManager(m, prof)
@@ -211,6 +212,7 @@ func BenchmarkEnumerateDesignSpace(b *testing.B) {
 func benchMicro(b *testing.B, mk func() mm.Manager) {
 	m := mk()
 	sizes := []int64{24, 96, 552, 1500}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := m.Alloc(mm.Request{Size: sizes[i%len(sizes)]})

@@ -12,6 +12,7 @@
 //	dmmbench -exp order
 //	dmmbench -exp static
 //	dmmbench -exp all -seeds 10
+//	dmmbench -exp bench -json BENCH_table1.json   # machine-readable perf baseline
 package main
 
 import (
@@ -24,11 +25,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, fits, all")
-		seeds = flag.Int("seeds", 10, "traces per case study (the paper averages 10)")
-		quick = flag.Bool("quick", false, "smaller workloads (for smoke runs)")
-		csv   = flag.String("csv", "", "write Figure 5 series to this CSV file")
-		seed  = flag.Int64("seed", 1, "seed for single-trace experiments (figure5)")
+		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, fits, bench, all")
+		seeds    = flag.Int("seeds", 10, "traces per case study (the paper averages 10)")
+		quick    = flag.Bool("quick", false, "smaller workloads (for smoke runs)")
+		csv      = flag.String("csv", "", "write Figure 5 series to this CSV file")
+		seed     = flag.Int64("seed", 1, "seed for single-trace experiments (figure5)")
+		jsonPath = flag.String("json", "BENCH_table1.json", "output file for -exp bench")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Seeds: *seeds, Quick: *quick}
@@ -100,4 +102,25 @@ func main() {
 		}
 		return experiments.WriteFits(os.Stdout, frs)
 	})
+	// The bench experiment writes a file, so it only runs when asked for
+	// by name — never as part of -exp all.
+	if *exp == "bench" {
+		fmt.Println("== bench ==")
+		rep, err := experiments.RunBenchTable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteBenchJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dmmbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark baseline written to %s (%d rows)\n", *jsonPath, len(rep.Rows))
+	}
 }

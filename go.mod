@@ -1,0 +1,3 @@
+module dmmkit
+
+go 1.24

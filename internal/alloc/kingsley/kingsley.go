@@ -47,7 +47,23 @@ type Manager struct {
 	h    *heap.Heap
 	v    block.View
 	free [maxClass + 1]heap.Addr // free-list heads per class (log2 gross)
-	live mm.Shadow
+	// nonEmpty has bit c set iff free[c] != Nil — the segregated-fit
+	// nonempty-bin bitmap (dlmalloc's binmap). Kingsley never scans
+	// across classes, so the bitmap serves the empty-class branch and
+	// diagnostics; it is out-of-band and does not change placement,
+	// footprint, or work accounting.
+	nonEmpty uint32
+	live     mm.Shadow
+}
+
+// setFreeHead writes a class free-list head, keeping nonEmpty in sync.
+func (m *Manager) setFreeHead(c int, b heap.Addr) {
+	m.free[c] = b
+	if b == heap.Nil {
+		m.nonEmpty &^= 1 << c
+	} else {
+		m.nonEmpty |= 1 << c
+	}
 }
 
 // New returns an empty Kingsley manager owning h.
@@ -80,7 +96,7 @@ func (m *Manager) Alloc(req mm.Request) (heap.Addr, error) {
 	}
 	m.Charge(mm.CostIndex)
 	b := m.free[c]
-	if b == heap.Nil {
+	if m.nonEmpty&(1<<c) == 0 {
 		var err error
 		b, err = m.refill(c)
 		if err != nil {
@@ -88,10 +104,12 @@ func (m *Manager) Alloc(req mm.Request) (heap.Addr, error) {
 			return heap.Nil, err
 		}
 	}
-	m.free[c] = m.v.NextFree(b)
+	m.setFreeHead(c, m.v.NextFree(b))
 	m.Charge(mm.CostProbe + mm.CostUnlink)
 	gross := int64(1) << c
-	m.v.SetHeader(b, gross, false, false) // status bits unused in this layout
+	// Every block on the class-c list already carries a class-c header,
+	// written at refill time and never cleared by Free, so the header
+	// rewrite is byte-idempotent and elided; its work charge remains.
 	m.Charge(mm.CostHeader)
 	p := m.v.Payload(b)
 	m.live.Add(p, req.Size)
@@ -117,12 +135,12 @@ func (m *Manager) refill(c int) (heap.Addr, error) {
 		b := start + heap.Addr(off)
 		m.v.SetHeader(b, gross, false, false)
 		m.v.SetNextFree(b, m.free[c])
-		m.free[c] = b
+		m.setFreeHead(c, b)
 		m.Charge(mm.CostLink)
 	}
 	m.v.SetHeader(start, gross, false, false)
 	m.v.SetNextFree(start, m.free[c])
-	m.free[c] = start
+	m.setFreeHead(c, start)
 	m.Charge(mm.CostLink)
 	return start, nil
 }
@@ -139,7 +157,7 @@ func (m *Manager) Free(p heap.Addr) error {
 	c := 64 - bits.LeadingZeros64(uint64(gross-1))
 	m.Charge(mm.CostIndex)
 	m.v.SetNextFree(b, m.free[c])
-	m.free[c] = b
+	m.setFreeHead(c, b)
 	m.Charge(mm.CostLink)
 	m.NoteFree(req, gross)
 	return nil
@@ -158,6 +176,7 @@ func (m *Manager) MaxFootprint() int64 { return m.h.MaxFootprint() }
 func (m *Manager) Reset() {
 	m.h.Reset()
 	m.free = [maxClass + 1]heap.Addr{}
+	m.nonEmpty = 0
 	m.live.Reset()
 	m.ResetStats()
 }
@@ -165,6 +184,9 @@ func (m *Manager) Reset() {
 // FreeBlocks returns the number of blocks on the class-c free list, for
 // tests and fragmentation diagnostics.
 func (m *Manager) FreeBlocks(c int) int {
+	if m.nonEmpty&(1<<c) == 0 {
+		return 0
+	}
 	n := 0
 	for b := m.free[c]; b != heap.Nil; b = m.v.NextFree(b) {
 		n++

@@ -30,6 +30,7 @@ package lea
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dmmkit/internal/block"
 	"dmmkit/internal/heap"
@@ -83,8 +84,47 @@ type Manager struct {
 	small [nSmall]heap.Addr    // doubly-linked exact bins
 	large [nLarge]heap.Addr    // doubly-linked size-sorted bins
 
+	// Nonempty-bin bitmaps (bit i set iff the bin's head is non-Nil), the
+	// dlmalloc binmap idiom: "find first bin >= class with blocks" becomes
+	// a TrailingZeros instead of a linear scan. Out-of-band bookkeeping
+	// only — placement and footprint are unchanged, and work accounting
+	// still charges the probes the un-indexed scan would have made.
+	fastMask  uint16
+	smallMask uint64 // nSmall == 64 exactly
+	largeMask uint32
+
 	mapped map[heap.Addr]int64 // payload -> segment base gross for mmapped blocks
 	live   mm.Shadow
+}
+
+// Bin-head setters keep the nonempty bitmaps in sync with the list heads;
+// every head write goes through one of these.
+
+func (m *Manager) setFastHead(i int, b heap.Addr) {
+	m.fast[i] = b
+	if b == heap.Nil {
+		m.fastMask &^= 1 << i
+	} else {
+		m.fastMask |= 1 << i
+	}
+}
+
+func (m *Manager) setSmallHead(i int, b heap.Addr) {
+	m.small[i] = b
+	if b == heap.Nil {
+		m.smallMask &^= 1 << i
+	} else {
+		m.smallMask |= 1 << i
+	}
+}
+
+func (m *Manager) setLargeHead(i int, b heap.Addr) {
+	m.large[i] = b
+	if b == heap.Nil {
+		m.largeMask &^= 1 << i
+	} else {
+		m.largeMask |= 1 << i
+	}
 }
 
 // New returns an empty Lea manager owning h.
@@ -126,7 +166,7 @@ func (m *Manager) Alloc(req mm.Request) (heap.Addr, error) {
 	// 1. Exact fastbin hit.
 	if gross <= fastMax {
 		if b := m.fast[fastIndex(gross)]; b != heap.Nil {
-			m.fast[fastIndex(gross)] = m.v.NextFree(b)
+			m.setFastHead(fastIndex(gross), m.v.NextFree(b))
 			m.Charge(mm.CostProbe + mm.CostUnlink)
 			return m.finishAlloc(b, req, gross, false)
 		}
@@ -153,6 +193,16 @@ func (m *Manager) Alloc(req mm.Request) (heap.Addr, error) {
 		return heap.Nil, err
 	}
 	return m.finishAlloc(b, req, gross, false)
+}
+
+// lookupMapped checks the mmapped-block table, skipping the map probe
+// entirely in the common case of no live mapped blocks.
+func (m *Manager) lookupMapped(p heap.Addr) (int64, bool) {
+	if len(m.mapped) == 0 {
+		return 0, false
+	}
+	segGross, ok := m.mapped[p]
+	return segGross, ok
 }
 
 func (m *Manager) allocMapped(req mm.Request) (heap.Addr, error) {
@@ -182,8 +232,12 @@ func (m *Manager) finishAlloc(b heap.Addr, req mm.Request, gross int64, fromBin 
 		m.split(b, gross)
 		have = gross
 	}
-	m.v.SetHeader(b, have, true, m.v.PrevUsed(b))
-	m.setNextPrevUsed(b, true)
+	// The header already records size == have on every path into here
+	// (bins, split, carveTop), so sealing the block only needs the used
+	// bit — a single read-modify-write with bytes identical to the full
+	// header rewrite the policy describes.
+	m.v.SetUsed(b, true)
+	m.setNextPrevUsed(b+heap.Addr(have), true)
 	m.Charge(mm.CostHeader)
 	p := m.v.Payload(b)
 	m.live.Add(p, req.Size)
@@ -205,22 +259,29 @@ func (m *Manager) split(b heap.Addr, want int64) {
 
 // bestFit searches small bins at or above gross, then large bins, for the
 // smallest free block that fits. Returns heap.Nil when none fits.
+//
+// The nonempty bitmaps turn the bin scans into TrailingZeros jumps; the
+// ChargeN calls account exactly the probes the linear scan would have
+// made, so the work metric is unchanged by the indexing.
 func (m *Manager) bestFit(gross int64) heap.Addr {
 	if gross <= smallMax {
-		for i := smallIndex(gross); i < nSmall; i++ {
-			m.Charge(mm.CostProbe)
-			if b := m.small[i]; b != heap.Nil {
-				m.unlinkSmall(b, i)
-				m.Charge(mm.CostUnlink)
-				return b
-			}
+		start := smallIndex(gross)
+		if avail := m.smallMask >> start; avail != 0 {
+			i := start + bits.TrailingZeros64(avail)
+			m.ChargeN(mm.CostProbe, int64(i-start)+1)
+			b := m.small[i]
+			m.unlinkSmall(b, i)
+			m.Charge(mm.CostUnlink)
+			return b
 		}
+		m.ChargeN(mm.CostProbe, int64(nSmall-start))
 	}
 	start := 0
 	if gross > smallMax {
 		start = largeIndex(gross)
 	}
-	for i := start; i < nLarge; i++ {
+	for avail := m.largeMask >> start; avail != 0; avail &= avail - 1 {
+		i := start + bits.TrailingZeros32(avail)
 		for b := m.large[i]; b != heap.Nil; b = m.v.NextFree(b) {
 			m.Charge(mm.CostProbe)
 			if m.v.Size(b) >= gross {
@@ -236,16 +297,18 @@ func (m *Manager) bestFit(gross int64) heap.Addr {
 // carveTop satisfies gross bytes from the wilderness chunk, consolidating
 // fastbins and extending the break as required.
 func (m *Manager) carveTop(gross int64) (heap.Addr, error) {
-	if m.topSize() < gross+minGross {
+	topSize := m.topSize()
+	if topSize < gross+minGross {
 		m.consolidate()
 		// Consolidation may have merged blocks into top or produced a
 		// binned fit; retry the bins once.
 		if b := m.bestFit(gross); b != heap.Nil {
 			return b, nil
 		}
+		topSize = m.topSize()
 	}
-	if m.topSize() < gross+minGross {
-		need := gross + minGross - m.topSize() + m.cfg.TopPad
+	if topSize < gross+minGross {
+		need := gross + minGross - topSize + m.cfg.TopPad
 		start, err := m.h.Sbrk(need)
 		if err != nil {
 			return heap.Nil, err
@@ -260,11 +323,11 @@ func (m *Manager) carveTop(gross int64) (heap.Addr, error) {
 			m.v.SetHeader(m.top, int64(m.h.Brk()-m.top), false, m.v.PrevUsed(m.top))
 		}
 		m.Charge(mm.CostHeader)
+		topSize = m.v.Size(m.top)
 	}
 	// Carve from the low end of top.
 	b := m.top
 	prevUsed := m.v.PrevUsed(m.top)
-	topSize := m.v.Size(m.top)
 	m.top = b + heap.Addr(gross)
 	m.v.SetHeader(m.top, topSize-gross, false, true)
 	m.v.SetHeader(b, gross, false, prevUsed) // finishAlloc seals it as used
@@ -286,7 +349,7 @@ func (m *Manager) Free(p heap.Addr) error {
 		m.NoteFail()
 		return mm.ErrBadFree
 	}
-	if segGross, isMapped := m.mapped[p]; isMapped {
+	if segGross, isMapped := m.lookupMapped(p); isMapped {
 		delete(m.mapped, p)
 		if err := m.h.Unmap(m.v.Block(p)); err != nil {
 			m.NoteFail()
@@ -302,26 +365,29 @@ func (m *Manager) Free(p heap.Addr) error {
 	if gross <= fastMax {
 		// Deferred coalescing: keep the used bit so neighbours skip it.
 		m.v.SetNextFree(b, m.fast[fastIndex(gross)])
-		m.fast[fastIndex(gross)] = b
+		m.setFastHead(fastIndex(gross), b)
 		m.Charge(mm.CostLink)
 		return nil
 	}
-	m.freeChunk(b)
+	m.freeChunk(b, gross)
 	m.maybeTrim()
 	return nil
 }
 
-// freeChunk coalesces block b with free neighbours and places the result
-// in a bin (or merges it into top).
-func (m *Manager) freeChunk(b heap.Addr) {
-	size := m.v.Size(b)
+// freeChunk coalesces block b (header size already read by the caller)
+// with free neighbours and places the result in a bin (or merges it into
+// top). The caller-supplied size and a tracked prevUsed bit avoid header
+// re-reads; every write carries the same bytes as before.
+func (m *Manager) freeChunk(b heap.Addr, size int64) {
+	prevUsed := m.v.PrevUsed(b)
 	// Backward merge.
-	if !m.v.PrevUsed(b) {
+	if !prevUsed {
 		prevSize := m.v.PrevFooterSize(b)
 		prev := b - heap.Addr(prevSize)
 		m.unbin(prev)
 		b = prev
 		size += prevSize
+		prevUsed = m.v.PrevUsed(b)
 		m.NoteCoalesce()
 	}
 	// Forward merge (with a binned block or with top).
@@ -329,7 +395,7 @@ func (m *Manager) freeChunk(b heap.Addr) {
 	if next == m.top {
 		size += m.v.Size(m.top)
 		m.top = b
-		m.v.SetHeader(b, size, false, m.v.PrevUsed(b))
+		m.v.SetHeader(b, size, false, prevUsed)
 		m.NoteCoalesce()
 		m.Charge(mm.CostHeader)
 		return
@@ -339,9 +405,9 @@ func (m *Manager) freeChunk(b heap.Addr) {
 		size += m.v.Size(next)
 		m.NoteCoalesce()
 	}
-	m.v.SetHeader(b, size, false, m.v.PrevUsed(b))
-	m.v.WriteFooter(b)
-	m.setNextPrevUsed(b, false)
+	m.v.SetHeader(b, size, false, prevUsed)
+	m.v.WriteFooterSized(b, size)
+	m.setNextPrevUsed(b+heap.Addr(size), false)
 	m.Charge(mm.CostHeader)
 	m.binFree(b)
 }
@@ -349,14 +415,15 @@ func (m *Manager) freeChunk(b heap.Addr) {
 // consolidate empties the fastbins, fully freeing each entry with
 // coalescing (dlmalloc's malloc_consolidate).
 func (m *Manager) consolidate() {
-	for i := range m.fast {
+	for avail := m.fastMask; avail != 0; avail &= avail - 1 {
+		i := bits.TrailingZeros16(avail)
 		for b := m.fast[i]; b != heap.Nil; {
 			next := m.v.NextFree(b)
 			m.Charge(mm.CostProbe)
-			m.freeChunk(b)
+			m.freeChunk(b, m.v.Size(b))
 			b = next
 		}
-		m.fast[i] = heap.Nil
+		m.setFastHead(i, heap.Nil)
 	}
 }
 
@@ -382,10 +449,10 @@ func (m *Manager) maybeTrim() {
 	m.Charge(mm.CostHeader)
 }
 
-// setNextPrevUsed updates the prevUsed bit of b's next physical neighbour
-// (or nothing when b borders top/break).
-func (m *Manager) setNextPrevUsed(b heap.Addr, used bool) {
-	next := m.v.Next(b)
+// setNextPrevUsed updates the prevUsed bit of the physical neighbour at
+// next (or nothing when it is at/past the break). Callers compute next
+// from a size they already hold, sparing the header re-read.
+func (m *Manager) setNextPrevUsed(next heap.Addr, used bool) {
 	if next < m.h.Brk() {
 		m.v.SetPrevUsed(next, used)
 		m.Charge(mm.CostHeader)
@@ -404,7 +471,7 @@ func (m *Manager) binFree(b heap.Addr) {
 		if m.small[i] != heap.Nil {
 			m.v.SetPrevFree(m.small[i], b)
 		}
-		m.small[i] = b
+		m.setSmallHead(i, b)
 		m.Charge(mm.CostLink)
 		return
 	}
@@ -421,7 +488,7 @@ func (m *Manager) binFree(b heap.Addr) {
 		m.v.SetPrevFree(cur, b)
 	}
 	if prev == heap.Nil {
-		m.large[i] = b
+		m.setLargeHead(i, b)
 	} else {
 		m.v.SetNextFree(prev, b)
 	}
@@ -432,16 +499,14 @@ func (m *Manager) binFree(b heap.Addr) {
 // it (used when coalescing neighbours).
 func (m *Manager) unbin(b heap.Addr) {
 	size := m.v.Size(b)
-	var head *heap.Addr
-	if size <= smallMax {
-		head = &m.small[smallIndex(size)]
-	} else {
-		head = &m.large[largeIndex(size)]
-	}
 	next := m.v.NextFree(b)
 	prev := m.v.PrevFree(b)
 	if prev == heap.Nil {
-		*head = next
+		if size <= smallMax {
+			m.setSmallHead(smallIndex(size), next)
+		} else {
+			m.setLargeHead(largeIndex(size), next)
+		}
 	} else {
 		m.v.SetNextFree(prev, next)
 	}
@@ -453,7 +518,7 @@ func (m *Manager) unbin(b heap.Addr) {
 
 func (m *Manager) unlinkSmall(b heap.Addr, i int) {
 	next := m.v.NextFree(b)
-	m.small[i] = next
+	m.setSmallHead(i, next)
 	if next != heap.Nil {
 		m.v.SetPrevFree(next, heap.Nil)
 	}
@@ -463,7 +528,7 @@ func (m *Manager) unlinkLarge(b heap.Addr, i int) {
 	next := m.v.NextFree(b)
 	prev := m.v.PrevFree(b)
 	if prev == heap.Nil {
-		m.large[i] = next
+		m.setLargeHead(i, next)
 	} else {
 		m.v.SetNextFree(prev, next)
 	}
@@ -485,6 +550,7 @@ func (m *Manager) Reset() {
 	m.fast = [nFastBins]heap.Addr{}
 	m.small = [nSmall]heap.Addr{}
 	m.large = [nLarge]heap.Addr{}
+	m.fastMask, m.smallMask, m.largeMask = 0, 0, 0
 	m.mapped = make(map[heap.Addr]int64)
 	m.live.Reset()
 	m.ResetStats()

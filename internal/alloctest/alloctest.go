@@ -92,7 +92,7 @@ func testPayloadIntegrity(t *testing.T, m mm.Manager, opts Options) {
 		pat  byte
 		tick int
 	}
-	var live []blk
+	live := make([]blk, 0, 64)
 	check := func(b blk) {
 		for _, x := range hp.Bytes(b.p, b.n) {
 			if x != b.pat {
@@ -219,7 +219,7 @@ func testTorture(t *testing.T, m mm.Manager, opts Options, seed int64) {
 		p heap.Addr
 		n int64
 	}
-	var live []blk
+	live := make([]blk, 0, 3000)
 	var liveBytes int64
 	sizes := func() int64 {
 		switch rng.Intn(4) {

@@ -269,10 +269,15 @@ func (v View) PrevSizeField(b heap.Addr) int64 {
 // Following dlmalloc, footers need only be valid on free blocks, but
 // writing them unconditionally is also legal.
 func (v View) WriteFooter(b heap.Addr) {
+	v.WriteFooterSized(b, v.Size(b))
+}
+
+// WriteFooterSized writes the footer of the block at b whose gross size
+// the caller already holds, skipping the header re-read.
+func (v View) WriteFooterSized(b heap.Addr, size int64) {
 	if v.L.Tags != TagsBoth {
 		panic("block: WriteFooter without footer tags")
 	}
-	size := v.Size(b)
 	v.H.PutU32(b+heap.Addr(size)-4, uint32(size))
 }
 

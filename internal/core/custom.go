@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"dmmkit/internal/bitset"
 	"dmmkit/internal/block"
 	"dmmkit/internal/dspace"
 	"dmmkit/internal/heap"
@@ -25,7 +26,8 @@ type Custom struct {
 	tagged bool // layout carries in-band metadata (A3 != none)
 
 	pools map[poolKey]*pool
-	keys  []poolKey // sorted by (phase, class)
+	keys  []poolKey  // sorted by (phase, class)
+	ne    bitset.Set // bit per keys position, set iff that pool's head != Nil
 
 	top       heap.Addr // wilderness chunk (tagged variable managers)
 	heapStart heap.Addr
@@ -295,17 +297,57 @@ func (m *Custom) allocFromPools(phase int, class int64, gross int64) (heap.Addr,
 	if m.vec.PoolRange == dspace.AnyRange || !m.canSplit() {
 		return heap.Nil, 0, false
 	}
-	// Segregated fit with splitting: walk larger classes in this phase.
-	i := sort.Search(len(m.keys), func(i int) bool { return !keyLess(m.keys[i], k) })
-	for ; i < len(m.keys) && m.keys[i].phase == k.phase; i++ {
-		if m.keys[i].class <= class {
+	// Segregated fit with splitting: visit larger classes in this phase.
+	// The nonempty bitset jumps straight to pools that hold blocks; the
+	// pools skipped over are charged exactly what the plain walk's
+	// poolFor lookups would have cost, so the work metric is unchanged.
+	// try(k) above created the pool for k, so keys[i0] == k.
+	i0 := sort.Search(len(m.keys), func(i int) bool { return !keyLess(m.keys[i], k) })
+	phaseEnd := sort.Search(len(m.keys), func(i int) bool { return m.keys[i].phase > k.phase })
+	for cur := i0; ; {
+		j := m.ne.NextGE(cur)
+		if j < 0 || j >= phaseEnd {
+			m.chargeSkippedPools(cur, phaseEnd, i0)
+			return heap.Nil, 0, false
+		}
+		if m.keys[j].class <= class {
+			// The exact-class pool: the walk skips it without a lookup.
+			cur = j + 1
 			continue
 		}
-		if b, have, ok := try(m.keys[i]); ok {
+		m.chargeSkippedPools(cur, j, i0)
+		if b, have, ok := try(m.keys[j]); ok {
 			return b, have, true
 		}
+		cur = j + 1
 	}
-	return heap.Nil, 0, false
+}
+
+// chargeSkippedPools accounts the poolFor lookups a linear walk over key
+// positions [from, to) would have charged for pools the bitset let us skip
+// (all empty). Position exact — the request's own class — is excluded:
+// the walk skips it without a lookup.
+func (m *Custom) chargeSkippedPools(from, to, exact int) {
+	if from >= to {
+		return
+	}
+	n := int64(to - from)
+	if exact >= from && exact < to {
+		n--
+	}
+	if n <= 0 {
+		return
+	}
+	if m.vec.PoolStruct == dspace.PoolArray {
+		m.ChargeN(mm.CostIndex, n)
+	} else {
+		// A pool-list lookup of the key at position p costs p+1 probes.
+		sum := (int64(to)*(int64(to)+1) - int64(from)*(int64(from)+1)) / 2
+		if exact >= from && exact < to {
+			sum -= int64(exact) + 1
+		}
+		m.ChargeN(mm.CostProbe, sum)
+	}
 }
 
 // popDeferredExact recycles an exact-size block from the deferred list of
@@ -525,6 +567,7 @@ func (m *Custom) Reset() {
 	m.h.Reset()
 	m.pools = make(map[poolKey]*pool)
 	m.keys = nil
+	m.ne.Reset()
 	m.freeKey = make(map[heap.Addr]poolKey)
 	m.top, m.heapStart = heap.Nil, heap.Nil
 	m.phase, m.frees = 0, 0

@@ -19,12 +19,15 @@ type poolKey struct {
 // pool is one memory pool: an in-band free list plus the roving pointer
 // for next fit and the deferred-coalescing list (blocks freed but not yet
 // merged, still carrying their used bit, as dlmalloc's fastbins do).
+// idx is the pool's position in the sorted key slice (and in the nonempty
+// bitset that runs parallel to it).
 type pool struct {
 	head, tail heap.Addr
 	count      int
 	rover      heap.Addr
 	deferred   heap.Addr
 	nDeferred  int
+	idx        int
 }
 
 // poolFor returns (creating on demand) the pool for a key, charging the
@@ -40,12 +43,18 @@ func (m *Custom) poolFor(k poolKey) *pool {
 	if pl, ok := m.pools[k]; ok {
 		return pl
 	}
-	pl := &pool{}
-	m.pools[k] = pl
 	i := sort.Search(len(m.keys), func(i int) bool { return !keyLess(m.keys[i], k) })
+	pl := &pool{idx: i}
+	for _, other := range m.pools {
+		if other.idx >= i {
+			other.idx++
+		}
+	}
+	m.pools[k] = pl
 	m.keys = append(m.keys, poolKey{})
 	copy(m.keys[i+1:], m.keys[i:])
 	m.keys[i] = k
+	m.ne.InsertZero(i)
 	return pl
 }
 
@@ -60,6 +69,7 @@ func keyLess(a, b poolKey) bool {
 // the A1 structure and C2 ordering decisions.
 func (m *Custom) insertFree(pl *pool, b heap.Addr) {
 	pl.count++
+	m.ne.Set(pl.idx)
 	m.Charge(mm.CostLink)
 	if pl.head == heap.Nil {
 		pl.head, pl.tail = b, b
@@ -133,16 +143,19 @@ func (m *Custom) unlink(pl *pool, b, sprev heap.Addr) {
 		} else {
 			pl.tail = prev
 		}
-		return
-	}
-	next := m.nextFree(b)
-	if sprev == heap.Nil {
-		pl.head = next
 	} else {
-		m.setNextFree(sprev, next)
+		next := m.nextFree(b)
+		if sprev == heap.Nil {
+			pl.head = next
+		} else {
+			m.setNextFree(sprev, next)
+		}
+		if pl.tail == b {
+			pl.tail = sprev
+		}
 	}
-	if pl.tail == b {
-		pl.tail = sprev
+	if pl.head == heap.Nil {
+		m.ne.Clear(pl.idx)
 	}
 }
 

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// BenchRow is one workload×manager benchmark measurement: the Table 1
+// footprint metrics plus the simulator's own execution cost (wall-clock
+// and Go allocations per replay). Footprint columns are properties of the
+// allocator policy and must stay invariant across simulator optimizations;
+// the ns/replay and allocs/replay columns are the perf trajectory tracked
+// from PR to PR.
+type BenchRow struct {
+	Workload        string  `json:"workload"`
+	Manager         string  `json:"manager"`
+	Events          int     `json:"events"`
+	FootprintBytes  int64   `json:"footprint_bytes"`
+	LiveBytes       int64   `json:"live_bytes"`
+	WorkPerOp       float64 `json:"work_per_op"`
+	NsPerReplay     float64 `json:"ns_per_replay"`
+	AllocsPerReplay float64 `json:"allocs_per_replay"`
+	Replays         int     `json:"replays"`
+}
+
+// BenchReport is the top-level BENCH_table1.json document.
+type BenchReport struct {
+	Note string     `json:"note"`
+	Rows []BenchRow `json:"rows"`
+}
+
+// RunBenchTable replays every benchmark workload (seed 1, quick mode — the
+// same configuration as the Go benchmarks and the golden differential
+// test) against every manager, timing full replays including manager
+// construction, exactly like BenchmarkTable1_*.
+func RunBenchTable() (*BenchReport, error) {
+	rep := &BenchReport{
+		Note: "footprint/live bytes are allocator-policy outputs (must not change under simulator optimization); ns and allocs per replay track simulator cost",
+	}
+	for _, w := range Workloads {
+		tr, err := BuildWorkloadTrace(w, 1, true)
+		if err != nil {
+			return nil, err
+		}
+		prof := profile.FromTrace(tr)
+		for _, name := range Managers {
+			row, err := benchOne(w, name, tr, prof)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+func benchOne(w Workload, name ManagerName, tr *trace.Trace, prof *profile.Profile) (BenchRow, error) {
+	replay := func() (trace.Result, error) {
+		mgr, err := NewManager(name, prof)
+		if err != nil {
+			return trace.Result{}, err
+		}
+		return trace.Run(mgr, tr, trace.RunOpts{})
+	}
+	// Warm-up (also captures the footprint metrics).
+	res, err := replay()
+	if err != nil {
+		return BenchRow{}, fmt.Errorf("bench %s/%s: %w", name, w, err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 200*time.Millisecond && n < 500 {
+		if _, err := replay(); err != nil {
+			return BenchRow{}, err
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return BenchRow{
+		Workload:        string(w),
+		Manager:         string(name),
+		Events:          res.Events,
+		FootprintBytes:  res.MaxFootprint,
+		LiveBytes:       res.MaxLive,
+		WorkPerOp:       float64(res.Work) / float64(res.Events),
+		NsPerReplay:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerReplay: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		Replays:         n,
+	}, nil
+}
+
+// WriteBenchJSON renders the report as indented JSON.
+func (r *BenchReport) WriteBenchJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

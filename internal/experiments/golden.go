@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"dmmkit/internal/core"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// GoldenCell records the complete observable outcome of replaying one
+// workload trace against one manager: footprint metrics, system-call
+// counters, and a checksum of every heap byte. The differential test
+// (golden_test.go) compares these against testdata/golden_table1.json,
+// captured from the unoptimized seed implementation, proving that hot-path
+// optimizations leave placement and footprint bit-identical.
+type GoldenCell struct {
+	Manager      string        `json:"manager"`
+	Workload     string        `json:"workload"`
+	Events       int           `json:"events"`
+	MaxFootprint int64         `json:"max_footprint"`
+	MaxLive      int64         `json:"max_live"`
+	Final        int64         `json:"final"`
+	Work         int64         `json:"work"`
+	Sys          heap.SysStats `json:"sys"`
+	HeapChecksum uint64        `json:"heap_checksum"`
+}
+
+// CaptureGolden replays every workload (seed 1, quick mode — the
+// benchmark configuration) against every manager and returns the golden
+// cells in deterministic order.
+func CaptureGolden() ([]GoldenCell, error) {
+	var out []GoldenCell
+	for _, w := range Workloads {
+		tr, err := BuildWorkloadTrace(w, 1, true)
+		if err != nil {
+			return nil, err
+		}
+		prof := profile.FromTrace(tr)
+		for _, name := range Managers {
+			mgr, err := NewManager(name, prof)
+			if err != nil {
+				return nil, err
+			}
+			run, err := trace.Run(mgr, tr, trace.RunOpts{})
+			if err != nil {
+				return nil, err
+			}
+			var sys heap.SysStats
+			var sum uint64
+			for _, hp := range heapsOf(mgr) {
+				s := hp.SysStats()
+				sys.Sbrks += s.Sbrks
+				sys.Shrinks += s.Shrinks
+				sys.Maps += s.Maps
+				sys.Unmaps += s.Unmaps
+				sum = sum*1099511628211 ^ hp.Checksum()
+			}
+			out = append(out, GoldenCell{
+				Manager:      string(name),
+				Workload:     string(w),
+				Events:       run.Events,
+				MaxFootprint: run.MaxFootprint,
+				MaxLive:      run.MaxLive,
+				Final:        run.Final,
+				Work:         int64(run.Work),
+				Sys:          sys,
+				HeapChecksum: sum,
+			})
+		}
+	}
+	return out, nil
+}
+
+// heapsOf enumerates every simulated heap a manager owns: one for atomic
+// managers, one per phase for the global composition.
+func heapsOf(m mm.Manager) []*heap.Heap {
+	if g, ok := m.(*core.Global); ok {
+		var hs []*heap.Heap
+		for _, ph := range g.Phases() {
+			hs = append(hs, heapsOf(g.Atomic(ph))...)
+		}
+		return hs
+	}
+	if h, ok := m.(interface{ Heap() *heap.Heap }); ok {
+		return []*heap.Heap{h.Heap()}
+	}
+	return nil
+}

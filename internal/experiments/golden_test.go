@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden differential file from current behavior")
+
+const goldenPath = "testdata/golden_table1.json"
+
+// TestGoldenDifferential replays every benchmark workload against every
+// manager and compares the complete observable outcome — placements (via a
+// heap checksum over every byte), footprint, live bytes, work units, and
+// system-call counters — against testdata/golden_table1.json, which was
+// captured from the unoptimized seed implementation. Hot-path
+// optimizations (fast in-band accessors, bitmap-indexed bins,
+// allocation-free replay) must keep all of it bit-identical.
+//
+// Regenerate deliberately with: go test ./internal/experiments -run Golden -update
+func TestGoldenDifferential(t *testing.T) {
+	got, err := CaptureGolden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden cells to %s", len(got), goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want []GoldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, golden has %d", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g != w {
+			t.Errorf("%s on %s diverged from seed behavior:\n  got  %+v\n  want %+v", g.Manager, g.Workload, g, w)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refU32 assembles the little-endian word byte-by-byte through Bytes —
+// the reference the optimized accessors must agree with everywhere.
+func refU32(h *Heap, addr Addr) uint32 {
+	b := h.Bytes(addr, 4)
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// TestAccessorDifferential drives U32/PutU32 against the byte-by-byte
+// reference across the sbrk region, multiple mapped segments, the hot
+// segment cache (by alternating segments), and unmapping (which must
+// invalidate the cache).
+func TestAccessorDifferential(t *testing.T) {
+	h := New(Config{})
+	rng := rand.New(rand.NewSource(3))
+
+	start, err := h.Sbrk(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []Addr
+	for a := start; a+4 <= h.Brk(); a += 4 {
+		addrs = append(addrs, a)
+	}
+	var segs []Addr
+	for i := 0; i < 5; i++ {
+		s, err := h.Map(8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, s)
+		sz := h.SegmentSize(s)
+		for a := s; int64(a-s)+4 <= sz; a += 512 {
+			addrs = append(addrs, a)
+		}
+	}
+	written := make(map[Addr]uint32)
+	for i := 0; i < 20000; i++ {
+		a := addrs[rng.Intn(len(addrs))]
+		if rng.Intn(2) == 0 {
+			v := rng.Uint32()
+			h.PutU32(a, v)
+			written[a] = v
+		}
+		if got, want := h.U32(a), refU32(h, a); got != want {
+			t.Fatalf("U32(%#x) = %#x, reference says %#x", a, got, want)
+		}
+		if want, ok := written[a]; ok && h.U32(a) != want {
+			t.Fatalf("U32(%#x) = %#x, last write was %#x", a, h.U32(a), want)
+		}
+	}
+
+	// Unmapping the cached segment must not leave a dangling cache hit.
+	last := segs[2]
+	h.PutU32(last, 0xDEADBEEF) // prime the hot cache on segs[2]
+	if err := h.Unmap(last); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("U32 on unmapped segment did not panic")
+			}
+		}()
+		h.U32(last)
+	}()
+	// The other segments must still be reachable afterwards.
+	for _, s := range segs {
+		if s == last {
+			continue
+		}
+		if got, want := h.U32(s), refU32(h, s); got != want {
+			t.Fatalf("post-unmap U32(%#x) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+// TestAccessorBrkBoundary pins the fast-path bound: the last word below
+// the break is readable, a straddling word panics with ErrBadAddress.
+func TestAccessorBrkBoundary(t *testing.T) {
+	h := New(Config{})
+	if _, err := h.Sbrk(64); err != nil {
+		t.Fatal(err)
+	}
+	last := h.Brk() - 4
+	h.PutU32(last, 0x01020304)
+	if got := h.U32(last); got != 0x01020304 {
+		t.Fatalf("U32 at last word = %#x", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("straddling U32 did not panic")
+		}
+	}()
+	h.U32(h.Brk() - 2)
+}
+
+func BenchmarkU32Sbrk(b *testing.B) {
+	h := New(Config{})
+	if _, err := h.Sbrk(4096); err != nil {
+		b.Fatal(err)
+	}
+	h.PutU32(64, 42)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += h.U32(64)
+	}
+	_ = sink
+}
+
+func BenchmarkU32Segment(b *testing.B) {
+	h := New(Config{})
+	s, err := h.Map(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.PutU32(s, 42)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += h.U32(s)
+	}
+	_ = sink
+}

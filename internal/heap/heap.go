@@ -20,8 +20,10 @@
 package heap
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -73,10 +75,12 @@ type segment struct {
 type Heap struct {
 	cfg Config
 
-	mem []byte // backing store for the sbrk region; mem[0] unused
-	brk Addr   // current program break; addresses in [base, brk) are owned
+	mem   []byte // backing store for the sbrk region; mem[0] unused
+	brk   Addr   // current program break; addresses in [base, brk) are owned
+	span4 Addr   // count of addresses in [base, brk) with room for 4 bytes
 
 	segs     []*segment // mmap-like segments, sorted by base
+	hot      *segment   // last segment hit by locate, checked before the search
 	nextSeg  Addr       // next segment base to hand out
 	segBytes int64
 
@@ -108,11 +112,23 @@ func New(cfg Config) *Heap {
 func (h *Heap) Reset() {
 	h.mem = nil
 	h.brk = base
+	h.span4 = 0
 	h.segs = nil
+	h.hot = nil
 	h.nextSeg = h.cfg.SegBase
 	h.segBytes = 0
 	h.maxFootprint = 0
 	h.nSbrk, h.nShrink, h.nMap, h.nUnmap = 0, 0, 0, 0
+}
+
+// setSpan recomputes the fast-path bound after a break move: a 4-byte
+// access at addr stays below the break iff uint32(addr-base) < span4.
+func (h *Heap) setSpan() {
+	if d := h.brk - base; d >= 4 {
+		h.span4 = d - 3
+	} else {
+		h.span4 = 0
+	}
 }
 
 // roundUp rounds n up to a multiple of Align.
@@ -146,6 +162,7 @@ func (h *Heap) Sbrk(n int64) (Addr, error) {
 		h.mem = grown
 	}
 	h.brk = Addr(newBrk)
+	h.setSpan()
 	h.nSbrk++
 	h.bumpFootprint()
 	return old, nil
@@ -162,6 +179,7 @@ func (h *Heap) ShrinkBrk(n int64) error {
 		return fmt.Errorf("heap: ShrinkBrk %d below heap base", n)
 	}
 	h.brk -= Addr(n)
+	h.setSpan()
 	// Poison the released range so use-after-release shows up in tests.
 	for i := int64(h.brk); i < int64(h.brk)+n && i < int64(len(h.mem)); i++ {
 		h.mem[i] = 0xDD
@@ -199,26 +217,37 @@ func (h *Heap) Map(n int64) (Addr, error) {
 // accesses cannot silently land in a neighbouring segment.
 func (c Config) SegGuard() Addr { return Addr(c.PageSize) }
 
+// segIndex returns the index in segs of the segment whose base is addr,
+// or -1. Segments are handed out at increasing bases and removals preserve
+// order, so segs stays sorted and a binary search suffices.
+func (h *Heap) segIndex(addr Addr) int {
+	i := sort.Search(len(h.segs), func(i int) bool { return h.segs[i].base >= addr })
+	if i < len(h.segs) && h.segs[i].base == addr {
+		return i
+	}
+	return -1
+}
+
 // Unmap releases the segment previously returned by Map at addr.
 func (h *Heap) Unmap(addr Addr) error {
-	for i, s := range h.segs {
-		if s.base == addr {
-			h.segBytes -= s.size
-			h.segs = append(h.segs[:i], h.segs[i+1:]...)
-			h.nUnmap++
-			return nil
-		}
+	i := h.segIndex(addr)
+	if i < 0 {
+		return ErrBadUnmap
 	}
-	return ErrBadUnmap
+	if h.hot == h.segs[i] {
+		h.hot = nil
+	}
+	h.segBytes -= h.segs[i].size
+	h.segs = append(h.segs[:i], h.segs[i+1:]...)
+	h.nUnmap++
+	return nil
 }
 
 // SegmentSize returns the size of the mapped segment at addr, or 0 if addr
 // is not a mapped segment base.
 func (h *Heap) SegmentSize(addr Addr) int64 {
-	for _, s := range h.segs {
-		if s.base == addr {
-			return s.size
-		}
+	if i := h.segIndex(addr); i >= 0 {
+		return h.segs[i].size
 	}
 	return 0
 }
@@ -229,44 +258,81 @@ func (h *Heap) InSbrkRegion(addr Addr) bool {
 }
 
 // locate returns the backing slice and offset for addr, ensuring n bytes
-// are accessible.
+// are accessible. The sbrk-region check is the fast path; segment lookups
+// go through a last-hit cache before the binary search. Error construction
+// lives out-of-line (badAddress) so locate's callers stay inline-friendly.
 func (h *Heap) locate(addr Addr, n int64) ([]byte, int64, error) {
 	if addr >= base && int64(addr)+n <= int64(h.brk) {
 		return h.mem, int64(addr), nil
 	}
-	if addr >= h.cfg.SegBase {
-		// Binary search over segments sorted by base.
-		i := sort.Search(len(h.segs), func(i int) bool { return h.segs[i].base+Addr(h.segs[i].size) > addr })
-		if i < len(h.segs) {
-			s := h.segs[i]
-			off := int64(addr) - int64(s.base)
-			if off >= 0 && off+n <= s.size {
-				return s.mem, off, nil
-			}
+	if s := h.seg(addr); s != nil {
+		off := int64(addr) - int64(s.base)
+		if off+n <= s.size {
+			return s.mem, off, nil
 		}
 	}
-	return nil, 0, fmt.Errorf("%w: %#x (+%d)", ErrBadAddress, addr, n)
+	return nil, 0, badAddress(addr, n)
+}
+
+// seg returns the mapped segment containing addr, or nil. The last hit is
+// cached: managers touch the same segment's header repeatedly (header
+// write then payload access), so the cache removes the binary search from
+// the common case.
+func (h *Heap) seg(addr Addr) *segment {
+	if s := h.hot; s != nil && addr >= s.base && int64(addr) < int64(s.base)+s.size {
+		return s
+	}
+	if addr < h.cfg.SegBase {
+		return nil
+	}
+	i := sort.Search(len(h.segs), func(i int) bool { return h.segs[i].base+Addr(h.segs[i].size) > addr })
+	if i < len(h.segs) && addr >= h.segs[i].base {
+		h.hot = h.segs[i]
+		return h.segs[i]
+	}
+	return nil
+}
+
+//go:noinline
+func badAddress(addr Addr, n int64) error {
+	return fmt.Errorf("%w: %#x (+%d)", ErrBadAddress, addr, n)
 }
 
 // U32 reads a little-endian 32-bit field at addr.
+// The single unsigned compare folds the lower and upper bound checks:
+// addr < base underflows to a value above span4.
 func (h *Heap) U32(addr Addr) uint32 {
+	if addr-base < h.span4 {
+		return binary.LittleEndian.Uint32(h.mem[addr:])
+	}
+	return h.u32Slow(addr)
+}
+
+//go:noinline
+func (h *Heap) u32Slow(addr Addr) uint32 {
 	m, off, err := h.locate(addr, 4)
 	if err != nil {
 		panic(err)
 	}
-	return uint32(m[off]) | uint32(m[off+1])<<8 | uint32(m[off+2])<<16 | uint32(m[off+3])<<24
+	return binary.LittleEndian.Uint32(m[off:])
 }
 
 // PutU32 writes a little-endian 32-bit field at addr.
 func (h *Heap) PutU32(addr Addr, v uint32) {
+	if addr-base < h.span4 {
+		binary.LittleEndian.PutUint32(h.mem[addr:], v)
+		return
+	}
+	h.putU32Slow(addr, v)
+}
+
+//go:noinline
+func (h *Heap) putU32Slow(addr Addr, v uint32) {
 	m, off, err := h.locate(addr, 4)
 	if err != nil {
 		panic(err)
 	}
-	m[off] = byte(v)
-	m[off+1] = byte(v >> 8)
-	m[off+2] = byte(v >> 16)
-	m[off+3] = byte(v >> 24)
+	binary.LittleEndian.PutUint32(m[off:], v)
 }
 
 // Ptr reads an in-band address field at addr.
@@ -291,6 +357,30 @@ func (h *Heap) Fill(addr Addr, n int64, b byte) {
 	for i := range s {
 		s[i] = b
 	}
+}
+
+// Checksum returns an FNV-1a hash over the heap's observable state: the
+// sbrk region contents, the break, and every mapped segment (base, size,
+// contents). Two heaps with equal checksums hold bit-identical memory;
+// differential tests use this to prove optimizations preserve behavior.
+func (h *Heap) Checksum() uint64 {
+	sum := fnv.New64a()
+	var scratch [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		sum.Write(scratch[:])
+	}
+	word(uint64(h.brk))
+	if h.brk > base {
+		sum.Write(h.mem[base:h.brk])
+	}
+	word(uint64(len(h.segs)))
+	for _, s := range h.segs {
+		word(uint64(s.base))
+		word(uint64(s.size))
+		sum.Write(s.mem)
+	}
+	return sum.Sum64()
 }
 
 // footprint is the memory currently requested from the system.

@@ -7,33 +7,120 @@ import "dmmkit/internal/heap"
 // exists so managers can report accurate LiveBytes statistics and reject
 // bad frees deterministically. It lives outside the simulated arena and is
 // deliberately NOT counted in any footprint figure.
+//
+// Every Alloc and Free crosses this table, so it is kept off Go's map: an
+// open-addressing table with linear probing and backward-shift deletion.
+// Payload addresses are 8-aligned and non-zero, so the zero address marks
+// empty slots and the low bits carry no information for the hash.
 type Shadow struct {
-	m map[heap.Addr]int64
+	slots []shadowSlot
+	n     int
+	mask  uint32
+}
+
+type shadowSlot struct {
+	p   heap.Addr // heap.Nil = empty
+	req int64
+}
+
+const shadowMinSize = 16 // power of two
+
+// hash spreads an 8-aligned address over the table (Fibonacci hashing).
+func (s *Shadow) hash(p heap.Addr) uint32 {
+	return ((uint32(p) >> 3) * 2654435761) & s.mask
 }
 
 // Add records a live payload address with its requested size.
 func (s *Shadow) Add(p heap.Addr, req int64) {
-	if s.m == nil {
-		s.m = make(map[heap.Addr]int64)
+	if s.n*4 >= len(s.slots)*3 { // load factor 3/4, and initial allocation
+		s.grow()
 	}
-	s.m[p] = req
+	i := s.hash(p)
+	for s.slots[i].p != heap.Nil {
+		if s.slots[i].p == p {
+			s.slots[i].req = req
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+	s.slots[i] = shadowSlot{p: p, req: req}
+	s.n++
 }
 
 // Remove forgets a payload address, returning its requested size. ok is
 // false when p is not live (bad or double free).
 func (s *Shadow) Remove(p heap.Addr) (req int64, ok bool) {
-	req, ok = s.m[p]
-	if ok {
-		delete(s.m, p)
+	if s.n == 0 {
+		return 0, false
 	}
-	return req, ok
+	i := s.hash(p)
+	for s.slots[i].p != p {
+		if s.slots[i].p == heap.Nil {
+			return 0, false
+		}
+		i = (i + 1) & s.mask
+	}
+	req = s.slots[i].req
+	s.n--
+	// Backward-shift deletion keeps probe chains intact without
+	// tombstones: each following entry whose home slot is outside the
+	// cycle (i, j] moves back into the hole.
+	j := i
+	for {
+		s.slots[i] = shadowSlot{}
+		for {
+			j = (j + 1) & s.mask
+			if s.slots[j].p == heap.Nil {
+				return req, true
+			}
+			home := s.hash(s.slots[j].p)
+			if (j-home)&s.mask >= (j-i)&s.mask {
+				break
+			}
+		}
+		s.slots[i] = s.slots[j]
+		i = j
+	}
 }
 
 // Contains reports whether p is live.
-func (s *Shadow) Contains(p heap.Addr) bool { _, ok := s.m[p]; return ok }
+func (s *Shadow) Contains(p heap.Addr) bool {
+	if s.n == 0 {
+		return false
+	}
+	for i := s.hash(p); ; i = (i + 1) & s.mask {
+		switch s.slots[i].p {
+		case p:
+			return true
+		case heap.Nil:
+			return false
+		}
+	}
+}
 
 // Len returns the number of live blocks.
-func (s *Shadow) Len() int { return len(s.m) }
+func (s *Shadow) Len() int { return s.n }
 
 // Reset clears the shadow table.
-func (s *Shadow) Reset() { s.m = nil }
+func (s *Shadow) Reset() { s.slots, s.n, s.mask = nil, 0, 0 }
+
+// grow doubles the table (or creates it) and rehashes every live entry.
+func (s *Shadow) grow() {
+	old := s.slots
+	size := 2 * len(old)
+	if size < shadowMinSize {
+		size = shadowMinSize
+	}
+	s.slots = make([]shadowSlot, size)
+	s.mask = uint32(size - 1)
+	for _, e := range old {
+		if e.p == heap.Nil {
+			continue
+		}
+		i := s.hash(e.p)
+		for s.slots[i].p != heap.Nil {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = e
+	}
+}

@@ -44,26 +44,85 @@ type RunOpts struct {
 	SampleEvery int
 }
 
+// liveTable maps allocation IDs to payload addresses during replay.
+// Builder-generated traces use dense sequential IDs, so the table is a
+// flat slice indexed by ID, preallocated once from the trace's maximum ID
+// — no per-event map or slice allocation on the replay hot path. Sparse
+// (hand-written) traces fall back to a map. Address Nil marks a dead ID:
+// managers never hand out the nil address.
+type liveTable struct {
+	dense  []heap.Addr
+	sparse map[int64]heap.Addr
+}
+
+func newLiveTable(t *Trace) liveTable {
+	maxID, minID := int64(-1), int64(0)
+	for i := range t.Events {
+		if id := t.Events[i].ID; id > maxID {
+			maxID = id
+		} else if id < minID {
+			minID = id
+		}
+	}
+	// A Builder trace has one alloc event per ID, so maxID+1 never
+	// exceeds the event count; tolerate mild sparseness beyond that.
+	// Negative IDs (possible in hand-built or decoded traces) are not
+	// slice-indexable and force the map fallback.
+	if minID >= 0 && maxID < 2*int64(len(t.Events))+64 {
+		return liveTable{dense: make([]heap.Addr, maxID+1)}
+	}
+	return liveTable{sparse: make(map[int64]heap.Addr, 256)}
+}
+
+func (lt *liveTable) set(id int64, p heap.Addr) {
+	if lt.dense != nil {
+		lt.dense[id] = p
+	} else {
+		lt.sparse[id] = p
+	}
+}
+
+// take returns the live address for id and forgets it; ok is false when id
+// is not live.
+func (lt *liveTable) take(id int64) (heap.Addr, bool) {
+	if lt.dense != nil {
+		if id < 0 || id >= int64(len(lt.dense)) || lt.dense[id] == heap.Nil {
+			return heap.Nil, false
+		}
+		p := lt.dense[id]
+		lt.dense[id] = heap.Nil
+		return p, true
+	}
+	p, ok := lt.sparse[id]
+	if ok {
+		delete(lt.sparse, id)
+	}
+	return p, ok
+}
+
 // Run replays a trace against a manager, returning footprint statistics.
 // The manager is used as-is (callers Reset or construct fresh managers for
 // independent runs).
 func Run(m mm.Manager, t *Trace, opts RunOpts) (Result, error) {
-	addrs := make(map[int64]heap.Addr, 256)
+	addrs := newLiveTable(t)
 	res := Result{Manager: m.Name(), TraceName: t.Name, Events: len(t.Events)}
-	for i, e := range t.Events {
+	if opts.SampleEvery > 0 {
+		res.Series = make([]Point, 0, len(t.Events)/opts.SampleEvery+1)
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
 		switch e.Kind {
 		case KindAlloc:
 			p, err := m.Alloc(mm.Request{Size: e.Size, Tag: int(e.Tag), Phase: int(e.Phase)})
 			if err != nil {
 				return res, fmt.Errorf("replay %q on %s: event %d: alloc %d bytes: %w", t.Name, m.Name(), i, e.Size, err)
 			}
-			addrs[e.ID] = p
+			addrs.set(e.ID, p)
 		case KindFree:
-			p, ok := addrs[e.ID]
+			p, ok := addrs.take(e.ID)
 			if !ok {
 				return res, fmt.Errorf("replay %q on %s: event %d: free of unknown id %d", t.Name, m.Name(), i, e.ID)
 			}
-			delete(addrs, e.ID)
 			if err := m.Free(p); err != nil {
 				return res, fmt.Errorf("replay %q on %s: event %d: free id %d: %w", t.Name, m.Name(), i, e.ID, err)
 			}
