@@ -11,6 +11,7 @@
 package dmmkit_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -57,7 +58,7 @@ func benchReplay(b *testing.B, w experiments.Workload, m experiments.ManagerName
 		if err != nil {
 			b.Fatal(err)
 		}
-		last, err = trace.Run(mgr, tr, trace.RunOpts{})
+		last, err = trace.Run(context.Background(), mgr, tr, trace.RunOpts{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func BenchmarkFigure5_Series(b *testing.B) {
 	var res *experiments.Figure5Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.RunFigure5(1, true)
+		res, err = experiments.RunFigure5(context.Background(), experiments.Config{Quick: true}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +145,7 @@ func BenchmarkPerf_Overhead(b *testing.B) {
 	var prs []experiments.PerfResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		prs, err = experiments.RunPerf(experiments.Config{Seeds: 1, Quick: true})
+		prs, err = experiments.RunPerf(context.Background(), experiments.Config{Seeds: 1, Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +163,7 @@ func BenchmarkFig4_OrderAblation(b *testing.B) {
 	var res *experiments.OrderResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.RunOrderAblation(experiments.Config{Seeds: 1, Quick: true})
+		res, err = experiments.RunOrderAblation(context.Background(), experiments.Config{Seeds: 1, Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func BenchmarkStaticVsDynamic(b *testing.B) {
 	var res *experiments.StaticResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.RunStaticVsDynamic(experiments.Config{Seeds: 1, Quick: true})
+		res, err = experiments.RunStaticVsDynamic(context.Background(), experiments.Config{Seeds: 1, Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}

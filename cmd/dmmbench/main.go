@@ -4,9 +4,13 @@
 // overhead claim, the decision-order ablation (Figure 4) and the
 // static-vs-dynamic sizing motivation.
 //
+// Independent cells (workload×seed) run concurrently on -parallel workers;
+// results are identical at every parallelism level. Ctrl-C cancels the run.
+//
 // Usage:
 //
 //	dmmbench -exp table1            # Table 1 (default 10 seeds, as the paper)
+//	dmmbench -exp table1 -parallel 8
 //	dmmbench -exp figure5 -csv out.csv
 //	dmmbench -exp perf
 //	dmmbench -exp order
@@ -16,9 +20,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dmmkit/internal/experiments"
 )
@@ -28,12 +34,16 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, fits, bench, all")
 		seeds    = flag.Int("seeds", 10, "traces per case study (the paper averages 10)")
 		quick    = flag.Bool("quick", false, "smaller workloads (for smoke runs)")
+		parallel = flag.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = sequential)")
 		csv      = flag.String("csv", "", "write Figure 5 series to this CSV file")
 		seed     = flag.Int64("seed", 1, "seed for single-trace experiments (figure5)")
 		jsonPath = flag.String("json", "BENCH_table1.json", "output file for -exp bench")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Seeds: *seeds, Quick: *quick}
+	cfg := experiments.Config{Seeds: *seeds, Quick: *quick, Parallelism: *parallel}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	run := func(name string, fn func() error) {
 		if *exp != name && *exp != "all" {
@@ -48,14 +58,14 @@ func main() {
 	}
 
 	run("table1", func() error {
-		t1, err := experiments.RunTable1(cfg)
+		t1, err := experiments.RunTable1(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		return experiments.WriteTable1(os.Stdout, t1)
 	})
 	run("figure5", func() error {
-		f5, err := experiments.RunFigure5(*seed, *quick)
+		f5, err := experiments.RunFigure5(ctx, cfg, *seed)
 		if err != nil {
 			return err
 		}
@@ -75,28 +85,28 @@ func main() {
 		return nil
 	})
 	run("perf", func() error {
-		prs, err := experiments.RunPerf(cfg)
+		prs, err := experiments.RunPerf(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		return experiments.WritePerf(os.Stdout, prs)
 	})
 	run("order", func() error {
-		or, err := experiments.RunOrderAblation(cfg)
+		or, err := experiments.RunOrderAblation(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		return experiments.WriteOrder(os.Stdout, or)
 	})
 	run("static", func() error {
-		st, err := experiments.RunStaticVsDynamic(cfg)
+		st, err := experiments.RunStaticVsDynamic(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		return experiments.WriteStatic(os.Stdout, st)
 	})
 	run("fits", func() error {
-		frs, err := experiments.RunFitAblation(cfg)
+		frs, err := experiments.RunFitAblation(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -106,7 +116,7 @@ func main() {
 	// by name — never as part of -exp all.
 	if *exp == "bench" {
 		fmt.Println("== bench ==")
-		rep, err := experiments.RunBenchTable()
+		rep, err := experiments.RunBenchTable(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmmbench: bench: %v\n", err)
 			os.Exit(1)

@@ -4,16 +4,24 @@
 // front, and shows where the methodology's one-walk design lands relative
 // to exhaustive search.
 //
+// Candidates are evaluated concurrently on -parallel workers (every
+// candidate owns a private simulated heap), with results identical to a
+// sequential run. Ctrl-C cancels the exploration.
+//
 // Usage:
 //
 //	dmmexplore -workload drr -candidates 96
+//	dmmexplore -workload render3d -parallel 8
 //	dmmexplore drr1.trace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"text/tabwriter"
 
 	"dmmkit"
@@ -21,43 +29,28 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "", "generate and explore: drr, recon3d or render3d")
+		workload   = flag.String("workload", "", "generate and explore a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
 		seed       = flag.Int64("seed", 1, "workload seed")
-		candidates = flag.Int("candidates", 96, "enumerated vectors to evaluate")
+		candidates = flag.Int("candidates", 96, "enumerated vectors to evaluate (upper bound)")
 		quick      = flag.Bool("quick", true, "use a reduced workload (exploration replays every candidate)")
+		parallel   = flag.Int("parallel", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
+		progress   = flag.Bool("progress", true, "report evaluation progress on stderr")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var tr *dmmkit.Trace
+	var err error
 	switch {
 	case *workload != "":
-		switch *workload {
-		case "drr":
-			cfg := dmmkit.DRRConfig{Seed: *seed}
-			if *quick {
-				cfg.Net.Phases = 3
-				cfg.Net.PhaseMs = 200
-			}
-			tr = dmmkit.DRRTrace(cfg)
-		case "recon3d":
-			cfg := dmmkit.Recon3DConfig{Seed: *seed}
-			if *quick {
-				cfg.Pairs = 1
-			}
-			tr = dmmkit.Recon3DTrace(cfg)
-		case "render3d":
-			cfg := dmmkit.Render3DConfig{Seed: *seed}
-			if *quick {
-				cfg.Detail = 300
-				cfg.Frames = 24
-			}
-			tr = dmmkit.Render3DTrace(cfg)
-		default:
-			fmt.Fprintf(os.Stderr, "dmmexplore: unknown workload %q\n", *workload)
+		tr, err = dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
 			os.Exit(2)
 		}
 	case flag.NArg() == 1:
-		var err error
 		tr, err = dmmkit.LoadTrace(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
@@ -68,11 +61,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("exploring %d candidates against %q (%d events, live peak %d B)...\n\n",
-		*candidates, tr.Name, len(tr.Events), tr.MaxLiveBytes())
-	cands, err := dmmkit.Explore(tr, dmmkit.ExploreOpts{MaxCandidates: *candidates, IncludeDesigned: true})
+	fmt.Printf("exploring up to %d of %d candidates against %q (%d events, live peak %d B)...\n\n",
+		*candidates, dmmkit.SpaceSize(), tr.Name, len(tr.Events), tr.MaxLiveBytes())
+	opts := dmmkit.ExploreOpts{
+		MaxCandidates:   *candidates,
+		IncludeDesigned: true,
+		Parallelism:     *parallel,
+	}
+	if *progress {
+		opts.OnProgress = func(done, total int) {
+			if done%16 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\revaluated %d/%d candidates", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	cands, err := dmmkit.NewEngine(*parallel).Explore(ctx, tr, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+		fmt.Fprintf(os.Stderr, "\ndmmexplore: %v (%d candidates evaluated before cancellation)\n", err, len(cands))
 		os.Exit(1)
 	}
 	failed := 0

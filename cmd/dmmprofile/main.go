@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"dmmkit"
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "generate and profile: drr, recon3d or render3d")
+		workload = flag.String("workload", "", "generate and profile a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
 		seed     = flag.Int64("seed", 1, "workload seed")
 		walk     = flag.Bool("walk", true, "print the methodology's decision walk")
 	)
@@ -30,15 +31,10 @@ func main() {
 	var tr *dmmkit.Trace
 	switch {
 	case *workload != "":
-		switch *workload {
-		case "drr":
-			tr = dmmkit.DRRTrace(dmmkit.DRRConfig{Seed: *seed})
-		case "recon3d":
-			tr = dmmkit.Recon3DTrace(dmmkit.Recon3DConfig{Seed: *seed})
-		case "render3d":
-			tr = dmmkit.Render3DTrace(dmmkit.Render3DConfig{Seed: *seed})
-		default:
-			fmt.Fprintf(os.Stderr, "dmmprofile: unknown workload %q\n", *workload)
+		var err error
+		tr, err = dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmprofile: %v\n", err)
 			os.Exit(2)
 		}
 	case flag.NArg() == 1:

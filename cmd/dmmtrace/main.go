@@ -11,29 +11,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dmmkit"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "drr", "drr, recon3d or render3d")
+		workload = flag.String("workload", "drr", "registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
 		seed     = flag.Int64("seed", 1, "workload seed")
+		quick    = flag.Bool("quick", false, "reduced workload configuration")
 		format   = flag.String("format", "binary", "binary or json")
 		out      = flag.String("o", "", "output file (default <workload><seed>.trace)")
 	)
 	flag.Parse()
 
-	var tr *dmmkit.Trace
-	switch *workload {
-	case "drr":
-		tr = dmmkit.DRRTrace(dmmkit.DRRConfig{Seed: *seed})
-	case "recon3d":
-		tr = dmmkit.Recon3DTrace(dmmkit.Recon3DConfig{Seed: *seed})
-	case "render3d":
-		tr = dmmkit.Render3DTrace(dmmkit.Render3DConfig{Seed: *seed})
-	default:
-		fmt.Fprintf(os.Stderr, "dmmtrace: unknown workload %q\n", *workload)
+	tr, err := dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmtrace: %v\n", err)
 		os.Exit(2)
 	}
 

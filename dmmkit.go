@@ -29,13 +29,16 @@
 //	prof := dmmkit.Profile(tr)
 //	design := dmmkit.Design(prof)      // the methodology's tree walk
 //	mgr, _ := design.Build(dmmkit.NewHeap())
-//	res, _ := dmmkit.Replay(mgr, tr, dmmkit.ReplayOpts{})
+//	res, _ := dmmkit.Replay(context.Background(), mgr, tr, dmmkit.ReplayOpts{})
 //	fmt.Println(res.MaxFootprint)      // bytes requested from the system
 //
 // See the examples directory for complete programs.
 package dmmkit
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
 	"os"
 
@@ -48,6 +51,7 @@ import (
 	"dmmkit/internal/heap"
 	"dmmkit/internal/mm"
 	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
 	"dmmkit/internal/trace"
 	"dmmkit/internal/workloads/drr"
 	"dmmkit/internal/workloads/recon3d"
@@ -187,23 +191,81 @@ func DesignGlobal(name string, p *AppProfile) (*GlobalManager, map[int]DesignRes
 }
 
 // Replay runs a trace against a manager and reports footprint statistics.
-func Replay(m Manager, t *Trace, opts ReplayOpts) (ReplayResult, error) {
-	return trace.Run(m, t, opts)
+// Cancelling ctx stops the replay between events.
+func Replay(ctx context.Context, m Manager, t *Trace, opts ReplayOpts) (ReplayResult, error) {
+	return trace.Run(ctx, m, t, opts)
 }
 
 // Exploration types.
 type (
 	// Candidate is one evaluated design-space point.
 	Candidate = core.Candidate
-	// ExploreOpts configures design-space exploration.
+	// ExploreOpts configures design-space exploration: sample size,
+	// parallelism, streaming and progress callbacks.
 	ExploreOpts = core.ExploreOpts
+	// Engine fans design-space exploration out over a worker pool with
+	// deterministic, parallelism-independent results.
+	Engine = core.Engine
 )
 
+// NewEngine returns an exploration engine with the given default worker
+// count (<= 0 means GOMAXPROCS).
+func NewEngine(parallelism int) *Engine { return core.NewEngine(parallelism) }
+
 // Explore evaluates a uniform sample of the valid design space against a
-// trace (plus the methodology's design), returning measured candidates.
-func Explore(t *Trace, opts ExploreOpts) ([]Candidate, error) {
-	return core.Explore(t, opts)
+// trace (plus the methodology's design), returning measured candidates in
+// a deterministic order. It is the convenience form of Engine.Explore;
+// evaluation parallelizes per opts.Parallelism (default GOMAXPROCS) with
+// results identical to a sequential run.
+func Explore(ctx context.Context, t *Trace, opts ExploreOpts) ([]Candidate, error) {
+	return core.NewEngine(0).Explore(ctx, t, opts)
 }
+
+// SpaceSize returns the number of valid decision vectors (~144k), cached
+// after the first enumeration.
+func SpaceSize() int { return core.SpaceSize() }
+
+// Registry types. The registry is the toolkit's extension point: managers
+// and workloads register by name, and every consumer (experiments, CLIs,
+// examples) constructs them through a lookup. The built-ins self-register:
+// managers "kingsley", "lea", "regions", "obstack", "custom" (the
+// methodology's per-phase global manager) and "designed" (one atomic
+// designed manager); workloads "drr", "recon3d" and "render3d".
+type (
+	// ManagerCtor builds a fresh manager over a heap for a trace whose
+	// profile is given; either argument may be nil.
+	ManagerCtor = registry.ManagerCtor
+	// WorkloadCtor generates one allocation trace of a workload.
+	WorkloadCtor = registry.WorkloadCtor
+	// WorkloadOpts parameterizes workload trace generation (seed, quick).
+	WorkloadOpts = registry.WorkloadOpts
+)
+
+// RegisterManager makes a manager family available under name; it panics
+// on a duplicate name or nil constructor.
+func RegisterManager(name string, ctor ManagerCtor) { registry.RegisterManager(name, ctor) }
+
+// RegisterWorkload makes a trace-producing workload available under name;
+// it panics on a duplicate name or nil constructor.
+func RegisterWorkload(name string, ctor WorkloadCtor) { registry.RegisterWorkload(name, ctor) }
+
+// NewManagerByName constructs a fresh manager of the named registered
+// family. A nil heap selects a default heap; p may be nil for families
+// that need no profile ("kingsley", "lea", "obstack").
+func NewManagerByName(name string, h *Heap, p *AppProfile) (Manager, error) {
+	return registry.NewManager(name, h, p)
+}
+
+// BuildWorkload generates the named registered workload's trace.
+func BuildWorkload(name string, opts WorkloadOpts) (*Trace, error) {
+	return registry.BuildWorkload(name, opts)
+}
+
+// Managers lists the registered manager names, sorted.
+func Managers() []string { return registry.Managers() }
+
+// Workloads lists the registered workload names, sorted.
+func Workloads() []string { return registry.Workloads() }
 
 // ParetoFront filters candidates to the footprint/work Pareto front.
 func ParetoFront(cands []Candidate) []Candidate { return core.ParetoFront(cands) }
@@ -212,20 +274,29 @@ func ParetoFront(cands []Candidate) []Candidate { return core.ParetoFront(cands)
 func NewTraceBuilder(name string) *TraceBuilder { return trace.NewBuilder(name) }
 
 // LoadTrace reads a trace file written by the dmmtrace tool or the
-// Encode methods, accepting both the binary and the JSON format.
+// Encode methods, accepting both the binary and the JSON format. When the
+// file parses as neither, the returned error carries both decoders'
+// failures (a corrupt binary trace would otherwise surface only as a
+// misleading JSON syntax error).
 func LoadTrace(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if t, err := trace.DecodeBinary(f); err == nil {
+	t, binErr := trace.DecodeBinary(f)
+	if binErr == nil {
 		return t, nil
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	return trace.DecodeJSON(f)
+	t, jsonErr := trace.DecodeJSON(f)
+	if jsonErr == nil {
+		return t, nil
+	}
+	return nil, fmt.Errorf("dmmkit: %s is neither a binary nor a JSON trace: %w",
+		path, errors.Join(binErr, jsonErr))
 }
 
 // DRRTrace generates the Deficit-Round-Robin case study's allocation

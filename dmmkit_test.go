@@ -1,8 +1,14 @@
 package dmmkit_test
 
 import (
+	"bytes"
+	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dmmkit"
@@ -36,7 +42,7 @@ func TestPublicAPIPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dmmkit.Replay(mgr, tr, dmmkit.ReplayOpts{SampleEvery: 10})
+	res, err := dmmkit.Replay(context.Background(), mgr, tr, dmmkit.ReplayOpts{SampleEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,6 +132,95 @@ func TestLoadTraceRoundTrip(t *testing.T) {
 	}
 	if got.Name != "file" {
 		t.Errorf("loaded name %q", got.Name)
+	}
+}
+
+// TestLoadTraceCorruptBinaryReportsBothErrors exercises the errors.Join
+// path: a truncated binary trace must surface the binary decoder's
+// failure, not just the (misleading) JSON error from the fallback.
+func TestLoadTraceCorruptBinaryReportsBothErrors(t *testing.T) {
+	dir := t.TempDir()
+	b := dmmkit.NewTraceBuilder("trunc")
+	var ids []int64
+	for i := 0; i < 50; i++ {
+		ids = append(ids, b.Alloc(int64(100+i), 0))
+	}
+	for _, id := range ids {
+		b.Free(id)
+	}
+	tr := b.Build()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-events: the magic still matches, so this is a
+	// corrupt binary trace, not a JSON file.
+	truncated := buf.Bytes()[:buf.Len()/2]
+	path := filepath.Join(dir, "trunc.trace")
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := dmmkit.LoadTrace(path)
+	if err == nil {
+		t.Fatal("LoadTrace accepted a truncated binary trace")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "trace: event") && !strings.Contains(msg, "EOF") {
+		t.Errorf("error does not mention the binary decoder's failure: %v", err)
+	}
+	if !strings.Contains(msg, "invalid character") {
+		t.Errorf("error does not mention the JSON decoder's failure: %v", err)
+	}
+}
+
+var facadeSeq atomic.Int64
+
+func TestRegistryFacade(t *testing.T) {
+	for _, want := range []string{"kingsley", "lea", "regions", "obstack", "custom", "designed"} {
+		if !slices.Contains(dmmkit.Managers(), want) {
+			t.Errorf("Managers() = %v missing built-in %q", dmmkit.Managers(), want)
+		}
+	}
+	for _, want := range []string{"drr", "recon3d", "render3d"} {
+		if !slices.Contains(dmmkit.Workloads(), want) {
+			t.Errorf("Workloads() = %v missing built-in %q", dmmkit.Workloads(), want)
+		}
+	}
+
+	// Build a workload and a profile-requiring manager through the
+	// registry, then replay end to end.
+	tr, err := dmmkit.BuildWorkload("drr", dmmkit.WorkloadOpts{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := dmmkit.Profile(tr)
+	for _, name := range []string{"kingsley", "custom"} {
+		m, err := dmmkit.NewManagerByName(name, nil, prof)
+		if err != nil {
+			t.Fatalf("NewManagerByName(%q): %v", name, err)
+		}
+		res, err := dmmkit.Replay(context.Background(), m, tr, dmmkit.ReplayOpts{})
+		if err != nil {
+			t.Fatalf("replay on %q: %v", name, err)
+		}
+		if res.MaxFootprint < res.MaxLive {
+			t.Errorf("%q: footprint %d below live %d", name, res.MaxFootprint, res.MaxLive)
+		}
+	}
+
+	// User registrations extend the same namespace the CLIs consume. The
+	// registry is process-global, so the name carries a sequence number to
+	// survive same-process reruns (go test -count=N).
+	name := fmt.Sprintf("test-facade-mgr-%d", facadeSeq.Add(1))
+	dmmkit.RegisterManager(name, func(h *dmmkit.Heap, p *dmmkit.AppProfile) (dmmkit.Manager, error) {
+		return dmmkit.NewKingsley(h), nil
+	})
+	if _, err := dmmkit.NewManagerByName(name, nil, nil); err != nil {
+		t.Errorf("user-registered manager not constructible: %v", err)
+	}
+
+	if _, err := dmmkit.NewManagerByName("custom", nil, nil); err == nil {
+		t.Error("custom manager built without a profile")
 	}
 }
 

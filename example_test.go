@@ -1,6 +1,7 @@
 package dmmkit_test
 
 import (
+	"context"
 	"fmt"
 
 	"dmmkit"
@@ -33,7 +34,7 @@ func ExampleDesign() {
 		fmt.Println("error:", err)
 		return
 	}
-	res, err := dmmkit.Replay(mgr, tr, dmmkit.ReplayOpts{})
+	res, err := dmmkit.Replay(context.Background(), mgr, tr, dmmkit.ReplayOpts{})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, m := range []dmmkit.Manager{custom, dmmkit.NewLea(dmmkit.NewHeap()), dmmkit.NewKingsley(dmmkit.NewHeap())} {
-			res, err := dmmkit.Replay(m, tr, dmmkit.ReplayOpts{})
+			res, err := dmmkit.Replay(context.Background(), m, tr, dmmkit.ReplayOpts{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,20 +1,29 @@
-// Example explore demonstrates the design space itself (paper Sec. 3):
-// the orthogonal decision trees, the interdependency constraints, the
-// size of the valid space, and a sampled exploration showing where the
-// methodology's single-walk design lands relative to brute-force search.
+// Example explore demonstrates the design space (paper Sec. 3) through
+// the parallel exploration engine: the orthogonal decision trees, the
+// interdependency constraints, the size of the valid space, and a sampled
+// concurrent exploration with streaming results, progress reporting and
+// early cancellation, showing where the methodology's single-walk design
+// lands relative to brute-force search.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"dmmkit"
 )
 
 func main() {
-	// The valid region of the design space, after constraint pruning.
-	n := dmmkit.EnumerateVectors(func(dmmkit.Vector) bool { return true })
-	fmt.Printf("valid design-space points (atomic DM managers): %d\n\n", n)
+	// The registry knows every manager family and workload; adding a
+	// scenario is one dmmkit.RegisterManager / RegisterWorkload call.
+	fmt.Printf("registered managers:  %s\n", strings.Join(dmmkit.Managers(), ", "))
+	fmt.Printf("registered workloads: %s\n\n", strings.Join(dmmkit.Workloads(), ", "))
+
+	// The valid region of the design space, after constraint pruning
+	// (cached after the first enumeration).
+	fmt.Printf("valid design-space points (atomic DM managers): %d\n\n", dmmkit.SpaceSize())
 
 	// Constraint propagation at work: the paper's Fig. 3/4 example — no
 	// block tags, yet splitting scheduled.
@@ -25,17 +34,36 @@ func main() {
 		fmt.Printf("constraint check (paper Fig. 3/4): %v\n\n", err)
 	}
 
-	// Sampled exploration against a reduced DRR trace.
-	tr := dmmkit.DRRTrace(dmmkit.DRRConfig{
-		Seed: 7,
-		Net:  dmmkit.NetConfig{Phases: 3, PhaseMs: 200},
-	})
-	fmt.Printf("exploring against %q (%d events, live peak %d B)...\n\n",
-		tr.Name, len(tr.Events), tr.MaxLiveBytes())
-	cands, err := dmmkit.Explore(tr, dmmkit.ExploreOpts{MaxCandidates: 64, IncludeDesigned: true})
+	// A reduced DRR trace from the workload registry.
+	tr, err := dmmkit.BuildWorkload("drr", dmmkit.WorkloadOpts{Seed: 7, Quick: true})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("exploring against %q (%d events, live peak %d B)...\n\n",
+		tr.Name, len(tr.Events), tr.MaxLiveBytes())
+
+	// Concurrent exploration: every candidate replays the trace on a
+	// private simulated heap, so evaluation fans out over all cores while
+	// the candidate order stays deterministic. OnCandidate streams each
+	// result as soon as it (and its predecessors) are done; OnProgress
+	// reports completion counts.
+	streamed := 0
+	engine := dmmkit.NewEngine(0) // 0 = GOMAXPROCS workers
+	cands, err := engine.Explore(context.Background(), tr, dmmkit.ExploreOpts{
+		MaxCandidates:   64,
+		IncludeDesigned: true,
+		OnCandidate:     func(dmmkit.Candidate) { streamed++ },
+		OnProgress: func(done, total int) {
+			if done == total {
+				fmt.Printf("evaluated %d/%d candidates\n", done, total)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d candidates in deterministic order\n\n", streamed)
+
 	front := dmmkit.ParetoFront(cands)
 	fmt.Println("footprint/work Pareto front:")
 	for _, c := range front {
@@ -57,5 +85,17 @@ func main() {
 			better++
 		}
 	}
-	fmt.Printf("\nenumerated candidates with a smaller footprint than the designed manager: %d\n", better)
+	fmt.Printf("\nenumerated candidates with a smaller footprint than the designed manager: %d\n\n", better)
+
+	// Early cancellation: cancel the context after a handful of results.
+	// Explore stops promptly and returns the contiguous prefix of
+	// candidates it had already streamed, together with ctx's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	partial, err := engine.Explore(ctx, tr, dmmkit.ExploreOpts{
+		MaxCandidates: 64,
+		OnCandidate: func(dmmkit.Candidate) {
+			cancel() // stop after the first streamed candidate
+		},
+	})
+	fmt.Printf("cancelled exploration: %d candidates kept, err = %v\n", len(partial), err)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,7 @@ func main() {
 	}
 	fmt.Printf("%-12s %14s %12s\n", "manager", "max footprint", "vs live peak")
 	for _, m := range managers {
-		res, err := dmmkit.Replay(m, tr, dmmkit.ReplayOpts{})
+		res, err := dmmkit.Replay(context.Background(), m, tr, dmmkit.ReplayOpts{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 	fmt.Printf("%-10s %14s %10s %12s\n", "manager", "max footprint", "vs live", "internal frag")
 	var results []dmmkit.ReplayResult
 	for _, m := range managers {
-		res, err := dmmkit.Replay(m, tr, dmmkit.ReplayOpts{})
+		res, err := dmmkit.Replay(context.Background(), m, tr, dmmkit.ReplayOpts{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,14 @@
+package kingsley
+
+import (
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
+)
+
+func init() {
+	registry.RegisterManager("kingsley", func(h *heap.Heap, _ *profile.Profile) (mm.Manager, error) {
+		return New(h), nil
+	})
+}

@@ -1,0 +1,14 @@
+package lea
+
+import (
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
+)
+
+func init() {
+	registry.RegisterManager("lea", func(h *heap.Heap, _ *profile.Profile) (mm.Manager, error) {
+		return New(h, Config{}), nil
+	})
+}

@@ -1,0 +1,14 @@
+package obstack
+
+import (
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
+)
+
+func init() {
+	registry.RegisterManager("obstack", func(h *heap.Heap, _ *profile.Profile) (mm.Manager, error) {
+		return New(h, 0), nil
+	})
+}

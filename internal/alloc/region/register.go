@@ -1,0 +1,37 @@
+package region
+
+import (
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
+)
+
+func init() {
+	registry.RegisterManager("regions", func(h *heap.Heap, p *profile.Profile) (mm.Manager, error) {
+		return New(h, ProfileSizer(p)), nil
+	})
+}
+
+// ProfileSizer sizes each region's fixed block for the worst-case request
+// of its allocation tag, rounded to the next power of two, as embedded
+// partition implementations require — the source of the internal
+// fragmentation the paper attributes to region managers (the "manually
+// designed" configuration of Sec. 5). A nil profile, or a tag the profile
+// never saw, falls back to DefaultSizer.
+func ProfileSizer(p *profile.Profile) Sizer {
+	return func(tag int, firstReq int64) int64 {
+		if p == nil {
+			return DefaultSizer(tag, firstReq)
+		}
+		max, ok := p.TagMax[tag]
+		if !ok {
+			return DefaultSizer(tag, firstReq)
+		}
+		s := int64(8)
+		for s < max {
+			s <<= 1
+		}
+		return s
+	}
+}

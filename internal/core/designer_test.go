@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -112,7 +113,7 @@ func TestDesignedManagerBeatsBaselinesOnItsProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := trace.Run(m, tr, trace.RunOpts{})
+	res, err := trace.Run(context.Background(), m, tr, trace.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +147,11 @@ func TestWrongOrderDesignLosesFlexibility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rightRes, err := trace.Run(right, tr, trace.RunOpts{})
+	rightRes, err := trace.Run(context.Background(), right, tr, trace.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wrongRes, err := trace.Run(wrong, tr, trace.RunOpts{})
+	wrongRes, err := trace.Run(context.Background(), wrong, tr, trace.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestBuildGlobalComposesAtomicManagers(t *testing.T) {
 	if designs[1].Vector.Flex != dspace.SplitCoalesce {
 		t.Error("phase 1 design should split+coalesce")
 	}
-	res, err := trace.Run(g, tr, trace.RunOpts{})
+	res, err := trace.Run(context.Background(), g, tr, trace.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

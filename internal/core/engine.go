@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	workpool "dmmkit/internal/pool"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// Engine runs design-space explorations concurrently. Candidate
+// evaluation is embarrassingly parallel — every candidate replays the
+// trace against a private simulated heap — so the engine fans evaluation
+// out over a worker pool while keeping the result deterministic: the
+// returned candidate slice is identical (vectors, footprints, work,
+// ordering) at every parallelism level, including 1.
+//
+// The zero value is a valid engine that uses GOMAXPROCS workers.
+type Engine struct {
+	// Parallelism is the default worker count for explorations whose
+	// options do not set their own; <= 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// NewEngine returns an engine with the given default worker count
+// (<= 0 means GOMAXPROCS).
+func NewEngine(parallelism int) *Engine { return &Engine{Parallelism: parallelism} }
+
+// Explore evaluates a uniform sample of the valid design space against a
+// trace on a worker pool, plus the methodology's design when requested.
+// The candidate order is deterministic: enumeration order, designed
+// candidate last — byte-identical to a sequential run. Cancelling ctx
+// stops evaluation early and returns the contiguous prefix of candidates
+// already streamed, together with the context's error.
+func (e *Engine) Explore(ctx context.Context, tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 128
+	}
+	par := opts.Parallelism
+	if par == 0 {
+		par = e.Parallelism
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	prof := profile.FromTrace(tr)
+	vectors := sampleVectors(opts.MaxCandidates)
+	n := len(vectors)
+	total := n
+	var designed Design
+	if opts.IncludeDesigned {
+		designed = DesignFor(prof)
+		total++
+	}
+	tr2 := traitsOf(prof)
+
+	out := make([]Candidate, total)
+	em := &emitter{total: total, ready: make([]bool, total), opts: &opts}
+	err := workpool.Run(ctx, par, total, func(i int) error {
+		// Build/replay failures are per-candidate data (Candidate.Err),
+		// not exploration failures; only cancellation aborts the run.
+		if i < n {
+			v := vectors[i]
+			out[i] = evaluate(ctx, v, deriveParams(v, tr2, prof), tr, false)
+		} else {
+			out[i] = evaluate(ctx, designed.Vector, designed.Params, tr, true)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		em.done(i, out)
+		return nil
+	})
+	if err != nil {
+		return out[:em.prefix()], err
+	}
+	return out, nil
+}
+
+// emitter serializes the streaming callbacks: OnProgress fires on every
+// completion, OnCandidate fires in deterministic index order as soon as a
+// candidate and all its predecessors are done. The callbacks run under the
+// emitter's lock, so they are never concurrent and never out of order;
+// they should not block for long and must not re-enter the engine.
+type emitter struct {
+	mu    sync.Mutex
+	next  int // first index not yet streamed
+	count int // completions so far
+	ready []bool
+	total int
+	opts  *ExploreOpts
+}
+
+func (em *emitter) done(i int, out []Candidate) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.count++
+	em.ready[i] = true
+	if em.opts.OnProgress != nil {
+		em.opts.OnProgress(em.count, em.total)
+	}
+	for em.next < em.total && em.ready[em.next] {
+		if em.opts.OnCandidate != nil {
+			em.opts.OnCandidate(out[em.next])
+		}
+		em.next++
+	}
+}
+
+func (em *emitter) prefix() int {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return em.next
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"dmmkit/internal/dspace"
+)
+
+// candKey projects a Candidate onto comparable fields (errors compared by
+// message).
+type candKey struct {
+	Vector       dspace.Vector
+	MaxFootprint int64
+	Work         int64
+	Designed     bool
+	Err          string
+}
+
+func keysOf(cands []Candidate) []candKey {
+	out := make([]candKey, len(cands))
+	for i, c := range cands {
+		out[i] = candKey{c.Vector, c.MaxFootprint, c.Work, c.Designed, ""}
+		if c.Err != nil {
+			out[i].Err = c.Err.Error()
+		}
+	}
+	return out
+}
+
+// TestEngineParallelMatchesSequential is the engine's determinism
+// contract: Parallelism 8 must yield a byte-identical candidate set
+// (vectors, footprints, work, ordering) to Parallelism 1.
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	tr := exploreTrace()
+	opts := ExploreOpts{MaxCandidates: 24, IncludeDesigned: true}
+
+	opts.Parallelism = 1
+	seq, err := NewEngine(0).Explore(context.Background(), tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	par, err := NewEngine(0).Explore(context.Background(), tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sequential %d candidates, parallel %d", len(seq), len(par))
+	}
+	sk, pk := keysOf(seq), keysOf(par)
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Errorf("candidate %d diverges:\n  seq %+v\n  par %+v", i, sk[i], pk[i])
+		}
+	}
+}
+
+// TestEngineStreamsInOrder checks that OnCandidate receives exactly the
+// returned candidates, in the deterministic result order, and that
+// OnProgress counts every completion.
+func TestEngineStreamsInOrder(t *testing.T) {
+	tr := exploreTrace()
+	var mu sync.Mutex
+	var streamed []Candidate
+	var progress []int
+	lastTotal := 0
+	cands, err := NewEngine(4).Explore(context.Background(), tr, ExploreOpts{
+		MaxCandidates:   16,
+		IncludeDesigned: true,
+		OnCandidate: func(c Candidate) {
+			mu.Lock()
+			streamed = append(streamed, c)
+			mu.Unlock()
+		},
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			progress = append(progress, done)
+			lastTotal = total
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(cands) {
+		t.Fatalf("streamed %d, returned %d", len(streamed), len(cands))
+	}
+	sk, ck := keysOf(streamed), keysOf(cands)
+	for i := range sk {
+		if sk[i] != ck[i] {
+			t.Errorf("streamed candidate %d out of order", i)
+		}
+	}
+	if lastTotal != len(cands) {
+		t.Errorf("OnProgress total %d, want %d", lastTotal, len(cands))
+	}
+	if len(progress) != len(cands) {
+		t.Fatalf("OnProgress fired %d times, want %d", len(progress), len(cands))
+	}
+	for i, d := range progress {
+		if d != i+1 {
+			t.Fatalf("progress not monotonic: step %d reported %d", i, d)
+		}
+	}
+}
+
+// TestEngineCancellation cancels mid-run and checks the partial result is
+// a clean prefix of the deterministic ordering.
+func TestEngineCancellation(t *testing.T) {
+	tr := exploreTrace()
+	full, err := NewEngine(1).Explore(context.Background(), tr, ExploreOpts{MaxCandidates: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential parallelism makes the cut point exact: the pool checks
+	// the context before every job, so cancelling inside the third
+	// streamed candidate stops the run right there.
+	ctx, cancel := context.WithCancel(context.Background())
+	var streamed int
+	partial, err := NewEngine(1).Explore(ctx, tr, ExploreOpts{
+		MaxCandidates: 12,
+		OnCandidate: func(Candidate) {
+			streamed++
+			if streamed == 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial) != 3 {
+		t.Errorf("cancellation kept %d candidates, want exactly 3", len(partial))
+	}
+	fk := keysOf(full)
+	for i, k := range keysOf(partial) {
+		if k != fk[i] {
+			t.Errorf("partial result %d is not a prefix of the full ordering", i)
+		}
+	}
+}
+
+func TestSpaceSizeCachedAndLarge(t *testing.T) {
+	n := SpaceSize()
+	if n < 100000 {
+		t.Fatalf("SpaceSize = %d, want the paper's ~144k valid points", n)
+	}
+	if m := SpaceSize(); m != n {
+		t.Errorf("SpaceSize not stable: %d then %d", n, m)
+	}
+}

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dmmkit/internal/dspace"
 	"dmmkit/internal/heap"
-	"dmmkit/internal/profile"
 	"dmmkit/internal/trace"
 )
 
@@ -24,30 +25,47 @@ type Candidate struct {
 type ExploreOpts struct {
 	// MaxCandidates caps how many enumerated vectors are evaluated
 	// (default 128). The valid space has ~144k points; evaluation
-	// samples it with a uniform stride.
+	// samples it with a uniform stride, never exceeding the cap.
 	MaxCandidates int
 	// IncludeDesigned additionally evaluates the methodology's design,
 	// marking it in the result (default behaviour of Explore).
 	IncludeDesigned bool
+	// Parallelism is the number of concurrent evaluation workers: 0
+	// defers to the Engine (whose own zero value means GOMAXPROCS), 1
+	// forces sequential evaluation. Results are deterministic and
+	// identical at every parallelism level.
+	Parallelism int
+	// OnCandidate, when set, streams every evaluated candidate in the
+	// deterministic result order (enumeration order, designed last) as
+	// soon as it and all its predecessors are done. Calls are serialized.
+	OnCandidate func(Candidate)
+	// OnProgress, when set, reports completion counts (done out of
+	// total) after every evaluated candidate. Calls are serialized.
+	OnProgress func(done, total int)
 }
 
-// Explore evaluates a uniform sample of the valid design space against a
-// trace, returning every candidate with its measured footprint and work.
-// It demonstrates what the paper's Sec. 3 claims: the space contains both
-// the general-purpose managers and far better custom points, and
-// exhaustive search is feasible once constraints prune the space.
-func Explore(tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
-	if opts.MaxCandidates <= 0 {
-		opts.MaxCandidates = 128
-	}
-	prof := profile.FromTrace(tr)
+// spaceSize caches the number of valid design-space vectors: the count is
+// a pure function of the constraint tables, so it is enumerated once per
+// process instead of once per exploration.
+var spaceSize = sync.OnceValue(func() int {
+	return dspace.Enumerate(func(dspace.Vector) bool { return true })
+})
 
-	total := dspace.Enumerate(func(dspace.Vector) bool { return true })
-	stride := total / opts.MaxCandidates
+// SpaceSize returns the number of valid decision vectors (~144k), cached
+// after the first enumeration.
+func SpaceSize() int { return spaceSize() }
+
+// sampleVectors collects a uniform stride sample of at most max valid
+// vectors, in enumeration order.
+func sampleVectors(max int) []dspace.Vector {
+	total := spaceSize()
+	// Ceiling stride guarantees at most max samples: stride*max >= total,
+	// so ceil(total/stride) <= max.
+	stride := (total + max - 1) / max
 	if stride < 1 {
 		stride = 1
 	}
-	var vectors []dspace.Vector
+	vectors := make([]dspace.Vector, 0, (total+stride-1)/stride)
 	i := 0
 	dspace.Enumerate(func(v dspace.Vector) bool {
 		if i%stride == 0 {
@@ -56,27 +74,29 @@ func Explore(tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
 		i++
 		return true
 	})
-
-	tr2 := traitsOf(prof)
-	var out []Candidate
-	for _, v := range vectors {
-		out = append(out, evaluate(v, deriveParams(v, tr2, prof), tr, false))
-	}
-	if opts.IncludeDesigned {
-		d := DesignFor(prof)
-		out = append(out, evaluate(d.Vector, d.Params, tr, true))
-	}
-	return out, nil
+	return vectors
 }
 
-func evaluate(v dspace.Vector, par Params, tr *trace.Trace, designed bool) Candidate {
+// Explore evaluates a uniform sample of the valid design space against a
+// trace, returning every candidate with its measured footprint and work.
+// It demonstrates what the paper's Sec. 3 claims: the space contains both
+// the general-purpose managers and far better custom points, and
+// exhaustive search is feasible once constraints prune the space.
+//
+// Explore is the convenience form of Engine.Explore with a background
+// context and default parallelism.
+func Explore(tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
+	return (&Engine{}).Explore(context.Background(), tr, opts)
+}
+
+func evaluate(ctx context.Context, v dspace.Vector, par Params, tr *trace.Trace, designed bool) Candidate {
 	c := Candidate{Vector: v, Params: par, Designed: designed}
 	m, err := NewCustom(heap.New(heap.Config{}), v, par)
 	if err != nil {
 		c.Err = fmt.Errorf("core: building candidate: %w", err)
 		return c
 	}
-	res, err := trace.Run(m, tr, trace.RunOpts{})
+	res, err := trace.Run(ctx, m, tr, trace.RunOpts{})
 	if err != nil {
 		c.Err = fmt.Errorf("core: replaying candidate: %w", err)
 		return c

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"errors"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
+)
+
+func init() {
+	// "custom" is the paper's manager: the methodology applied per
+	// behavioural phase and composed into a global manager (Sec. 3.3).
+	// It owns one heap per phase, so the caller-provided heap is unused.
+	registry.RegisterManager("custom", func(_ *heap.Heap, p *profile.Profile) (mm.Manager, error) {
+		if p == nil {
+			return nil, errors.New("core: the custom manager requires a trace profile")
+		}
+		g, _, err := BuildGlobal("custom", p)
+		return g, err
+	})
+	// "designed" is a single atomic manager from one methodology walk over
+	// the whole profile, without the per-phase composition.
+	registry.RegisterManager("designed", func(h *heap.Heap, p *profile.Profile) (mm.Manager, error) {
+		if p == nil {
+			return nil, errors.New("core: the designed manager requires a trace profile")
+		}
+		if h == nil {
+			h = heap.New(heap.Config{})
+		}
+		return DesignFor(p).Build(h)
+	})
+}

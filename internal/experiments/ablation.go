@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dmmkit/internal/core"
 	"dmmkit/internal/heap"
+	"dmmkit/internal/pool"
 	"dmmkit/internal/profile"
 	"dmmkit/internal/trace"
 )
@@ -20,43 +22,56 @@ type OrderResult struct {
 }
 
 // RunOrderAblation designs DRR managers with the correct and the wrong
-// tree order and measures both footprints (averaged over seeds).
-func RunOrderAblation(cfg Config) (*OrderResult, error) {
+// tree order and measures both footprints (averaged over seeds, which run
+// concurrently per cfg.Parallelism).
+func RunOrderAblation(ctx context.Context, cfg Config) (*OrderResult, error) {
 	cfg.defaults()
-	res := &OrderResult{}
-	var runs int64
-	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+	type seedResult struct {
+		right, wrong   int64
+		rightD, wrongD core.Design
+	}
+	perSeed := make([]seedResult, cfg.Seeds)
+	err := pool.Run(ctx, cfg.Parallelism, cfg.Seeds, func(i int) error {
+		seed := int64(i + 1)
 		tr, err := BuildWorkloadTrace(WorkloadDRR, seed, cfg.Quick)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof := profile.FromTrace(tr)
 		right := core.DesignFor(prof)
 		wrong := core.WrongOrderDesign(prof)
-		res.RightDesign, res.WrongDesign = right, wrong
 
 		rm, err := right.Build(heap.New(heap.Config{}))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rr, err := trace.Run(rm, tr, trace.RunOpts{})
+		rr, err := trace.Run(ctx, rm, tr, trace.RunOpts{})
 		if err != nil {
-			return nil, fmt.Errorf("order ablation (right): %w", err)
+			return fmt.Errorf("order ablation (right): %w", err)
 		}
 		wm, err := wrong.Build(heap.New(heap.Config{}))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		wr, err := trace.Run(wm, tr, trace.RunOpts{})
+		wr, err := trace.Run(ctx, wm, tr, trace.RunOpts{})
 		if err != nil {
-			return nil, fmt.Errorf("order ablation (wrong): %w", err)
+			return fmt.Errorf("order ablation (wrong): %w", err)
 		}
-		res.RightFootprint += rr.MaxFootprint
-		res.WrongFootprint += wr.MaxFootprint
-		runs++
+		perSeed[i] = seedResult{rr.MaxFootprint, wr.MaxFootprint, right, wrong}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.RightFootprint /= runs
-	res.WrongFootprint /= runs
+	res := &OrderResult{}
+	for _, s := range perSeed {
+		res.RightFootprint += s.right
+		res.WrongFootprint += s.wrong
+	}
+	last := perSeed[len(perSeed)-1]
+	res.RightDesign, res.WrongDesign = last.rightD, last.wrongD
+	res.RightFootprint /= int64(cfg.Seeds)
+	res.WrongFootprint /= int64(cfg.Seeds)
 	if res.RightFootprint > 0 {
 		res.Penalty = float64(res.WrongFootprint)/float64(res.RightFootprint) - 1
 	}
@@ -73,31 +88,40 @@ type StaticResult struct {
 
 // RunStaticVsDynamic sizes every allocation site statically for its worst
 // case (peak concurrent blocks x largest request, per tag) and compares
-// with the custom manager's dynamic footprint on DRR.
-func RunStaticVsDynamic(cfg Config) (*StaticResult, error) {
+// with the custom manager's dynamic footprint on DRR. Seeds run
+// concurrently per cfg.Parallelism.
+func RunStaticVsDynamic(ctx context.Context, cfg Config) (*StaticResult, error) {
 	cfg.defaults()
-	res := &StaticResult{}
-	var runs int64
-	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+	type seedResult struct{ static, dynamic int64 }
+	perSeed := make([]seedResult, cfg.Seeds)
+	err := pool.Run(ctx, cfg.Parallelism, cfg.Seeds, func(i int) error {
+		seed := int64(i + 1)
 		tr, err := BuildWorkloadTrace(WorkloadDRR, seed, cfg.Quick)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.StaticBytes += staticPlanBytes(tr)
 		prof := profile.FromTrace(tr)
 		mgr, err := NewManager(MgrCustom, prof)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		run, err := trace.Run(mgr, tr, trace.RunOpts{})
+		run, err := trace.Run(ctx, mgr, tr, trace.RunOpts{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.DynamicPeak += run.MaxFootprint
-		runs++
+		perSeed[i] = seedResult{staticPlanBytes(tr), run.MaxFootprint}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.StaticBytes /= runs
-	res.DynamicPeak /= runs
+	res := &StaticResult{}
+	for _, s := range perSeed {
+		res.StaticBytes += s.static
+		res.DynamicPeak += s.dynamic
+	}
+	res.StaticBytes /= int64(cfg.Seeds)
+	res.DynamicPeak /= int64(cfg.Seeds)
 	if res.DynamicPeak > 0 {
 		res.Overhead = float64(res.StaticBytes)/float64(res.DynamicPeak) - 1
 	}
@@ -157,9 +181,9 @@ type PerfResult struct {
 }
 
 // RunPerf measures work units for every manager on every workload.
-func RunPerf(cfg Config) ([]PerfResult, error) {
+func RunPerf(ctx context.Context, cfg Config) ([]PerfResult, error) {
 	cfg.defaults()
-	t1, err := RunTable1(cfg)
+	t1, err := RunTable1(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -38,8 +39,10 @@ type BenchReport struct {
 // RunBenchTable replays every benchmark workload (seed 1, quick mode — the
 // same configuration as the Go benchmarks and the golden differential
 // test) against every manager, timing full replays including manager
-// construction, exactly like BenchmarkTable1_*.
-func RunBenchTable() (*BenchReport, error) {
+// construction, exactly like BenchmarkTable1_*. Cells run sequentially —
+// concurrent timed replays would perturb each other — but cancelling ctx
+// stops the run between (and within) replays.
+func RunBenchTable(ctx context.Context) (*BenchReport, error) {
 	rep := &BenchReport{
 		Note: "footprint/live bytes are allocator-policy outputs (must not change under simulator optimization); ns and allocs per replay track simulator cost",
 	}
@@ -50,7 +53,7 @@ func RunBenchTable() (*BenchReport, error) {
 		}
 		prof := profile.FromTrace(tr)
 		for _, name := range Managers {
-			row, err := benchOne(w, name, tr, prof)
+			row, err := benchOne(ctx, w, name, tr, prof)
 			if err != nil {
 				return nil, err
 			}
@@ -60,13 +63,13 @@ func RunBenchTable() (*BenchReport, error) {
 	return rep, nil
 }
 
-func benchOne(w Workload, name ManagerName, tr *trace.Trace, prof *profile.Profile) (BenchRow, error) {
+func benchOne(ctx context.Context, w Workload, name ManagerName, tr *trace.Trace, prof *profile.Profile) (BenchRow, error) {
 	replay := func() (trace.Result, error) {
 		mgr, err := NewManager(name, prof)
 		if err != nil {
 			return trace.Result{}, err
 		}
-		return trace.Run(mgr, tr, trace.RunOpts{})
+		return trace.Run(ctx, mgr, tr, trace.RunOpts{})
 	}
 	// Warm-up (also captures the footprint metrics).
 	res, err := replay()

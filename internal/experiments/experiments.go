@@ -4,6 +4,12 @@
 // overhead claim, the decision-order ablation (Figure 4), and the
 // static-vs-dynamic sizing motivation from Sec. 1.
 //
+// Managers and workloads are resolved through the registry (every cell of
+// Table 1 is one registry lookup), and the drivers fan independent cells
+// out over a worker pool — each cell replays against a private simulated
+// heap, so workload×seed cells parallelize embarrassingly while the
+// reduction stays deterministic.
+//
 // Absolute bytes differ from the paper — the workloads are synthetic
 // reconstructions — but the shape (ordering of managers, rough improvement
 // factors, crossovers) is the reproduction target; EXPERIMENTS.md records
@@ -11,24 +17,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"dmmkit/internal/alloc/kingsley"
-	"dmmkit/internal/alloc/lea"
-	"dmmkit/internal/alloc/obstack"
-	"dmmkit/internal/alloc/region"
-	"dmmkit/internal/core"
-	"dmmkit/internal/heap"
 	"dmmkit/internal/mm"
-	"dmmkit/internal/netsim"
+	"dmmkit/internal/pool"
 	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
 	"dmmkit/internal/trace"
-	"dmmkit/internal/workloads/drr"
-	"dmmkit/internal/workloads/recon3d"
-	"dmmkit/internal/workloads/render3d"
+
+	// The built-in managers and workloads self-register with the registry.
+	_ "dmmkit/internal/alloc/kingsley"
+	_ "dmmkit/internal/alloc/lea"
+	_ "dmmkit/internal/alloc/obstack"
+	_ "dmmkit/internal/alloc/region"
+	_ "dmmkit/internal/core"
+	_ "dmmkit/internal/workloads/drr"
+	_ "dmmkit/internal/workloads/recon3d"
+	_ "dmmkit/internal/workloads/render3d"
 )
 
-// Workload identifies one case study.
+// Workload identifies one case study by its registry name.
 type Workload string
 
 // The paper's three case studies.
@@ -56,6 +65,16 @@ const (
 // Managers lists the Table 1 rows in the paper's order.
 var Managers = []ManagerName{MgrKingsley, MgrLea, MgrRegions, MgrObstacks, MgrCustom}
 
+// registryName maps a Table 1 row label to the registry name of its
+// manager family.
+var registryName = map[ManagerName]string{
+	MgrKingsley: "kingsley",
+	MgrLea:      "lea",
+	MgrRegions:  "regions",
+	MgrObstacks: "obstack",
+	MgrCustom:   "custom",
+}
+
 // PaperTable1 holds the published values in bytes; absent cells (the
 // paper's "-") are zero.
 var PaperTable1 = map[ManagerName]map[Workload]int64{
@@ -70,8 +89,9 @@ var PaperTable1 = map[ManagerName]map[Workload]int64{
 // counts so unit tests and benchmarks stay fast; the full mode matches
 // the paper's ten simulations per case study.
 type Config struct {
-	Seeds int  // traces per case study (default 10; the paper uses 10)
-	Quick bool // smaller workloads (tests/benchmarks)
+	Seeds       int  // traces per case study (default 10; the paper uses 10)
+	Quick       bool // smaller workloads (tests/benchmarks)
+	Parallelism int  // worker count for independent cells (0 = GOMAXPROCS, 1 = sequential)
 }
 
 func (c *Config) defaults() {
@@ -84,79 +104,26 @@ func (c *Config) defaults() {
 	}
 }
 
-// BuildWorkloadTrace generates the trace of one case study for one seed.
+// BuildWorkloadTrace generates the trace of one case study for one seed,
+// through the workload registry.
 func BuildWorkloadTrace(w Workload, seed int64, quick bool) (*trace.Trace, error) {
-	switch w {
-	case WorkloadDRR:
-		cfg := drr.Config{Seed: seed}
-		if quick {
-			cfg.Net = netsim.Config{Phases: 4, PhaseMs: 250}
-		}
-		res, err := drr.BuildTrace(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return res.Trace, nil
-	case WorkloadRecon:
-		cfg := recon3d.Config{Seed: seed}
-		if quick {
-			cfg.Pairs = 2
-		}
-		res, err := recon3d.BuildTrace(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return res.Trace, nil
-	case WorkloadRender:
-		cfg := render3d.Config{Seed: seed}
-		if quick {
-			cfg.Detail = 600
-			cfg.Frames = 48
-		}
-		res, err := render3d.BuildTrace(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return res.Trace, nil
+	tr, err := registry.BuildWorkload(string(w), registry.WorkloadOpts{Seed: seed, Quick: quick})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return nil, fmt.Errorf("experiments: unknown workload %q", w)
+	return tr, nil
 }
 
 // NewManager constructs a fresh manager of the named family for a trace
-// whose profile is p. Regions are sized per allocation tag from the
-// profile (the "manually designed" configuration of Sec. 5); the custom
-// manager is designed by the methodology.
+// whose profile is p, through the manager registry. Regions are sized per
+// allocation tag from the profile (the "manually designed" configuration
+// of Sec. 5); the custom manager is designed by the methodology.
 func NewManager(name ManagerName, p *profile.Profile) (mm.Manager, error) {
-	h := heap.New(heap.Config{})
-	switch name {
-	case MgrKingsley:
-		return kingsley.New(h), nil
-	case MgrLea:
-		return lea.New(h, lea.Config{}), nil
-	case MgrRegions:
-		// Partition buffers are sized for the worst-case request of the
-		// site and rounded to the next power of two, as embedded
-		// partition implementations require — the source of the internal
-		// fragmentation the paper attributes to region managers.
-		sizer := func(tag int, first int64) int64 {
-			max, ok := p.TagMax[tag]
-			if !ok {
-				return region.DefaultSizer(tag, first)
-			}
-			s := int64(8)
-			for s < max {
-				s <<= 1
-			}
-			return s
-		}
-		return region.New(h, sizer), nil
-	case MgrObstacks:
-		return obstack.New(h, 0), nil
-	case MgrCustom:
-		g, _, err := core.BuildGlobal(string(MgrCustom), p)
-		return g, err
+	key, ok := registryName[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown manager %q", name)
 	}
-	return nil, fmt.Errorf("experiments: unknown manager %q", name)
+	return registry.NewManager(key, nil, p)
 }
 
 // Cell is one Table 1 measurement, averaged over seeds.
@@ -174,36 +141,68 @@ type Table1Result struct {
 }
 
 // RunTable1 measures the maximum memory footprint of every manager on
-// every case study, averaged over seeds.
-func RunTable1(cfg Config) (*Table1Result, error) {
+// every case study, averaged over seeds. Workload×seed cells run
+// concurrently per cfg.Parallelism (each builds its own trace and
+// managers); the reduction happens in a fixed order, so the result is
+// identical at every parallelism level.
+func RunTable1(ctx context.Context, cfg Config) (*Table1Result, error) {
 	cfg.defaults()
+	type job struct {
+		w    Workload
+		seed int64
+	}
+	var jobs []job
+	for _, w := range Workloads {
+		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+			jobs = append(jobs, job{w, seed})
+		}
+	}
+	cells := make([]map[ManagerName]Cell, len(jobs))
+	err := pool.Run(ctx, cfg.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		tr, err := BuildWorkloadTrace(j.w, j.seed, cfg.Quick)
+		if err != nil {
+			return err
+		}
+		prof := profile.FromTrace(tr)
+		got := make(map[ManagerName]Cell, len(Managers))
+		for _, name := range Managers {
+			mgr, err := NewManager(name, prof)
+			if err != nil {
+				return err
+			}
+			run, err := trace.Run(ctx, mgr, tr, trace.RunOpts{})
+			if err != nil {
+				return fmt.Errorf("table1 %s/%s seed %d: %w", name, j.w, j.seed, err)
+			}
+			got[name] = Cell{
+				MaxFootprint: run.MaxFootprint,
+				MaxLive:      tr.MaxLiveBytes(),
+				Work:         run.Work,
+				Runs:         1,
+			}
+		}
+		cells[i] = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Table1Result{Cfg: cfg, Cells: make(map[ManagerName]map[Workload]Cell)}
 	for _, m := range Managers {
 		res.Cells[m] = make(map[Workload]Cell)
 	}
-	for _, w := range Workloads {
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
-			tr, err := BuildWorkloadTrace(w, seed, cfg.Quick)
-			if err != nil {
-				return nil, err
-			}
-			prof := profile.FromTrace(tr)
-			for _, name := range Managers {
-				mgr, err := NewManager(name, prof)
-				if err != nil {
-					return nil, err
-				}
-				run, err := trace.Run(mgr, tr, trace.RunOpts{})
-				if err != nil {
-					return nil, fmt.Errorf("table1 %s/%s seed %d: %w", name, w, seed, err)
-				}
-				c := res.Cells[name][w]
-				c.MaxFootprint += run.MaxFootprint
-				c.MaxLive += tr.MaxLiveBytes()
-				c.Work += run.Work
-				c.Runs++
-				res.Cells[name][w] = c
-			}
+	// Reduce in job order (deterministic regardless of completion order).
+	for i, j := range jobs {
+		for _, name := range Managers {
+			c := res.Cells[name][j.w]
+			g := cells[i][name]
+			c.MaxFootprint += g.MaxFootprint
+			c.MaxLive += g.MaxLive
+			c.Work += g.Work
+			c.Runs += g.Runs
+			res.Cells[name][j.w] = c
 		}
 	}
 	// Convert sums to means.

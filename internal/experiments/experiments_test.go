@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 var quickCfg = Config{Seeds: 2, Quick: true}
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	t1, err := RunTable1(quickCfg)
+	t1, err := RunTable1(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestTable1Rendering(t *testing.T) {
-	t1, err := RunTable1(quickCfg)
+	t1, err := RunTable1(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestTable1Rendering(t *testing.T) {
 }
 
 func TestFigure5SeriesShape(t *testing.T) {
-	f5, err := RunFigure5(1, true)
+	f5, err := RunFigure5(context.Background(), Config{Quick: true}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFigure5SeriesShape(t *testing.T) {
 }
 
 func TestPerfOverheadModest(t *testing.T) {
-	prs, err := RunPerf(quickCfg)
+	prs, err := RunPerf(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestPerfOverheadModest(t *testing.T) {
 }
 
 func TestOrderAblationShowsPenalty(t *testing.T) {
-	or, err := RunOrderAblation(quickCfg)
+	or, err := RunOrderAblation(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestOrderAblationShowsPenalty(t *testing.T) {
 }
 
 func TestStaticVsDynamic(t *testing.T) {
-	st, err := RunStaticVsDynamic(quickCfg)
+	st, err := RunStaticVsDynamic(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +180,41 @@ func TestStaticVsDynamic(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "static worst-case") {
 		t.Error("static report missing header")
+	}
+}
+
+// TestTable1ParallelMatchesSequential pins the engine redesign's
+// determinism contract at the experiments level: fanning the Table 1
+// workload×seed cells over 8 workers must reproduce the sequential cells
+// exactly (every job owns a private trace, profile and heap, and the
+// reduction runs in a fixed order).
+func TestTable1ParallelMatchesSequential(t *testing.T) {
+	seqCfg := quickCfg
+	seqCfg.Parallelism = 1
+	seq, err := RunTable1(context.Background(), seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := quickCfg
+	parCfg.Parallelism = 8
+	par, err := RunTable1(context.Background(), parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Managers {
+		for _, w := range Workloads {
+			if seq.Cells[m][w] != par.Cells[m][w] {
+				t.Errorf("%s/%s: sequential %+v != parallel %+v", m, w, seq.Cells[m][w], par.Cells[m][w])
+			}
+		}
+	}
+}
+
+func TestTable1Cancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunTable1(ctx, quickCfg); err == nil {
+		t.Error("RunTable1 on a cancelled context succeeded")
 	}
 }
 
@@ -217,7 +253,7 @@ func profileOf(t *testing.T, tr *trace.Trace) *profile.Profile {
 }
 
 func TestFitAblation(t *testing.T) {
-	frs, err := RunFitAblation(quickCfg)
+	frs, err := RunFitAblation(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"dmmkit/internal/pool"
 	"dmmkit/internal/profile"
 	"dmmkit/internal/textplot"
 	"dmmkit/internal/trace"
@@ -20,9 +22,10 @@ type Figure5Result struct {
 }
 
 // RunFigure5 replays one DRR trace with footprint sampling on Lea and the
-// methodology-designed custom manager.
-func RunFigure5(seed int64, quick bool) (*Figure5Result, error) {
-	tr, err := BuildWorkloadTrace(WorkloadDRR, seed, quick)
+// methodology-designed custom manager; the two replays run concurrently
+// unless cfg.Parallelism forces sequential execution.
+func RunFigure5(ctx context.Context, cfg Config, seed int64) (*Figure5Result, error) {
+	tr, err := BuildWorkloadTrace(WorkloadDRR, seed, cfg.Quick)
 	if err != nil {
 		return nil, err
 	}
@@ -33,26 +36,22 @@ func RunFigure5(seed int64, quick bool) (*Figure5Result, error) {
 	}
 	res := &Figure5Result{TraceName: tr.Name, Events: len(tr.Events)}
 
-	leaMgr, err := NewManager(MgrLea, prof)
+	rows := []ManagerName{MgrLea, MgrCustom}
+	runs := make([]trace.Result, len(rows))
+	err = pool.Run(ctx, cfg.Parallelism, len(rows), func(i int) error {
+		mgr, err := NewManager(rows[i], prof)
+		if err != nil {
+			return err
+		}
+		runs[i], err = trace.Run(ctx, mgr, tr, trace.RunOpts{SampleEvery: every})
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	leaRun, err := trace.Run(leaMgr, tr, trace.RunOpts{SampleEvery: every})
-	if err != nil {
-		return nil, err
-	}
-	res.Lea = leaRun.Series
-
-	customMgr, err := NewManager(MgrCustom, prof)
-	if err != nil {
-		return nil, err
-	}
-	customRun, err := trace.Run(customMgr, tr, trace.RunOpts{SampleEvery: every})
-	if err != nil {
-		return nil, err
-	}
-	res.Custom = customRun.Series
-	for _, p := range customRun.Series {
+	res.Lea = runs[0].Series
+	res.Custom = runs[1].Series
+	for _, p := range runs[1].Series {
 		res.Live = append(res.Live, trace.Point{Index: p.Index, Tick: p.Tick, Footprint: p.Live})
 	}
 	return res, nil

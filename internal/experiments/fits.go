@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -8,6 +9,7 @@ import (
 	"dmmkit/internal/core"
 	"dmmkit/internal/dspace"
 	"dmmkit/internal/heap"
+	"dmmkit/internal/pool"
 	"dmmkit/internal/profile"
 	"dmmkit/internal/trace"
 )
@@ -22,39 +24,46 @@ type FitResult struct {
 // RunFitAblation holds the DRR custom design fixed except for the C1 fit
 // tree and measures every leaf: the experiment behind the paper's Sec. 5
 // choice of exact fit "to avoid as much as possible memory lost in
-// internal fragmentation".
-func RunFitAblation(cfg Config) ([]FitResult, error) {
+// internal fragmentation". Seeds run concurrently per cfg.Parallelism.
+func RunFitAblation(ctx context.Context, cfg Config) ([]FitResult, error) {
 	cfg.defaults()
-	sums := make(map[dspace.Leaf]*FitResult)
 	fits := []dspace.Leaf{dspace.FirstFit, dspace.NextFit, dspace.BestFit, dspace.WorstFit, dspace.ExactFit}
-	for _, f := range fits {
-		sums[f] = &FitResult{Fit: f}
-	}
-	for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+	perSeed := make([]map[dspace.Leaf]FitResult, cfg.Seeds)
+	err := pool.Run(ctx, cfg.Parallelism, cfg.Seeds, func(i int) error {
+		seed := int64(i + 1)
 		tr, err := BuildWorkloadTrace(WorkloadDRR, seed, cfg.Quick)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof := profile.FromTrace(tr)
 		base := core.DesignFor(prof)
+		got := make(map[dspace.Leaf]FitResult, len(fits))
 		for _, f := range fits {
 			d := base
 			d.Vector.Fit = f
 			m, err := d.Build(heap.New(heap.Config{}))
 			if err != nil {
-				return nil, fmt.Errorf("fit ablation %s: %w", dspace.LeafName(dspace.C1Fit, f), err)
+				return fmt.Errorf("fit ablation %s: %w", dspace.LeafName(dspace.C1Fit, f), err)
 			}
-			run, err := trace.Run(m, tr, trace.RunOpts{})
+			run, err := trace.Run(ctx, m, tr, trace.RunOpts{})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sums[f].MaxFootprint += run.MaxFootprint
-			sums[f].Work += int64(run.Work)
+			got[f] = FitResult{Fit: f, MaxFootprint: run.MaxFootprint, Work: int64(run.Work)}
 		}
+		perSeed[i] = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []FitResult
 	for _, f := range fits {
-		r := *sums[f]
+		r := FitResult{Fit: f}
+		for _, got := range perSeed {
+			r.MaxFootprint += got[f].MaxFootprint
+			r.Work += got[f].Work
+		}
 		r.MaxFootprint /= int64(cfg.Seeds)
 		r.Work /= int64(cfg.Seeds)
 		out = append(out, r)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"dmmkit/internal/core"
 	"dmmkit/internal/heap"
 	"dmmkit/internal/mm"
@@ -42,7 +44,7 @@ func CaptureGolden() ([]GoldenCell, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := trace.Run(mgr, tr, trace.RunOpts{})
+			run, err := trace.Run(context.Background(), mgr, tr, trace.RunOpts{})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,87 @@
+// Package pool provides the tiny indexed worker pool behind the parallel
+// engine: candidate evaluation and experiment cells are embarrassingly
+// parallel (every job owns a private simulated heap), so all the engine
+// needs is "run fn(i) for i in [0,n) on p workers, stop early on error or
+// cancellation". Results are returned by writing into caller-owned slices
+// at index i, which keeps output ordering deterministic regardless of
+// scheduling.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run evaluates fn(i) for every i in [0, n) on up to parallelism
+// concurrent workers and waits for them. parallelism <= 0 selects
+// GOMAXPROCS; parallelism == 1 runs inline with no goroutines. The first
+// error stops the pool (preferring the lowest-index error when several
+// jobs fail together), as does context cancellation; fn is never called
+// after either. fn must be safe for concurrent invocation with distinct i.
+func Run(ctx context.Context, parallelism, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,96 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 8, 100} {
+		const n = 64
+		var counts [n]atomic.Int32
+		err := Run(context.Background(), par, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", par, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(context.Background(), 4, 0, func(int) error {
+		t.Error("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(context.Background(), 4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran.Load() == 1000 {
+		t.Error("error did not stop the pool early")
+	}
+}
+
+func TestRunSequentialErrorIsFirst(t *testing.T) {
+	first := errors.New("first")
+	err := Run(context.Background(), 1, 10, func(i int) error {
+		if i >= 2 {
+			return errors.New("later")
+		}
+		if i == 1 {
+			return first
+		}
+		return nil
+	})
+	if !errors.Is(err, first) {
+		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Run(ctx, 4, 100, func(int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunNilContext(t *testing.T) {
+	var ran atomic.Int32
+	if err := Run(nil, 2, 10, func(int) error { //nolint:staticcheck // deliberate nil ctx
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d of 10", ran.Load())
+	}
+}

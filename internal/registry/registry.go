@@ -1,0 +1,130 @@
+// Package registry is the extension point of the toolkit: DM managers and
+// trace-producing workloads register themselves by name, and every consumer
+// (the experiments driver, the CLIs, the examples, user code through the
+// dmmkit facade) constructs them through a single lookup instead of a
+// hardcoded switch. Adding a scenario becomes a one-line registration.
+//
+// The built-ins self-register from their packages' init functions:
+// managers "kingsley", "lea", "regions", "obstack", "custom" (the
+// methodology's per-phase global manager) and "designed" (a single atomic
+// designed manager); workloads "drr", "recon3d" and "render3d".
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// ManagerCtor builds a fresh manager for a trace whose profile is p.
+// h is the heap the manager should allocate from; ctors that compose
+// several heaps internally (the global manager) may ignore it. Either
+// argument may be nil: ctors must fall back to a default heap and to
+// profile-free parameterization.
+type ManagerCtor func(h *heap.Heap, p *profile.Profile) (mm.Manager, error)
+
+// WorkloadOpts parameterizes workload trace generation.
+type WorkloadOpts struct {
+	// Seed selects the pseudo-random instance (the paper averages ten).
+	Seed int64
+	// Quick requests the reduced configuration used by tests, benchmarks
+	// and smoke runs.
+	Quick bool
+}
+
+// WorkloadCtor generates one allocation trace of a case study.
+type WorkloadCtor func(opts WorkloadOpts) (*trace.Trace, error)
+
+var (
+	mu        sync.RWMutex
+	managers  = map[string]ManagerCtor{}
+	workloads = map[string]WorkloadCtor{}
+)
+
+// RegisterManager makes a manager family available under name. It panics
+// if ctor is nil or name is already taken (registration is an init-time,
+// programmer-controlled act, as in database/sql).
+func RegisterManager(name string, ctor ManagerCtor) {
+	mu.Lock()
+	defer mu.Unlock()
+	if ctor == nil {
+		panic("registry: RegisterManager with nil constructor")
+	}
+	if _, dup := managers[name]; dup {
+		panic(fmt.Sprintf("registry: RegisterManager called twice for %q", name))
+	}
+	managers[name] = ctor
+}
+
+// RegisterWorkload makes a trace-producing workload available under name.
+// It panics if ctor is nil or name is already taken.
+func RegisterWorkload(name string, ctor WorkloadCtor) {
+	mu.Lock()
+	defer mu.Unlock()
+	if ctor == nil {
+		panic("registry: RegisterWorkload with nil constructor")
+	}
+	if _, dup := workloads[name]; dup {
+		panic(fmt.Sprintf("registry: RegisterWorkload called twice for %q", name))
+	}
+	workloads[name] = ctor
+}
+
+// NewManager constructs a fresh manager of the named family. A nil heap
+// selects a default-configuration heap; p may be nil for families that do
+// not need a profile.
+func NewManager(name string, h *heap.Heap, p *profile.Profile) (mm.Manager, error) {
+	mu.RLock()
+	ctor := managers[name]
+	mu.RUnlock()
+	if ctor == nil {
+		return nil, fmt.Errorf("registry: unknown manager %q (registered: %s)",
+			name, strings.Join(Managers(), ", "))
+	}
+	if h == nil {
+		h = heap.New(heap.Config{})
+	}
+	return ctor(h, p)
+}
+
+// BuildWorkload generates the named workload's allocation trace.
+func BuildWorkload(name string, opts WorkloadOpts) (*trace.Trace, error) {
+	mu.RLock()
+	ctor := workloads[name]
+	mu.RUnlock()
+	if ctor == nil {
+		return nil, fmt.Errorf("registry: unknown workload %q (registered: %s)",
+			name, strings.Join(Workloads(), ", "))
+	}
+	return ctor(opts)
+}
+
+// Managers lists the registered manager names, sorted.
+func Managers() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(managers))
+	for name := range managers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Workloads lists the registered workload names, sorted.
+func Workloads() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(workloads))
+	for name := range workloads {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/trace"
+)
+
+// The registry is process-global, so test registrations need names that
+// stay unique across reruns in one process (go test -count=N).
+var nameSeq atomic.Int64
+
+func uniqueName(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, nameSeq.Add(1))
+}
+
+// fakeManager is a minimal mm.Manager for registration tests.
+type fakeManager struct {
+	mm.Manager
+	heap *heap.Heap
+	prof *profile.Profile
+}
+
+func (f *fakeManager) Name() string { return "fake" }
+
+func TestRegisterAndConstructManager(t *testing.T) {
+	name := uniqueName("test-mgr")
+	RegisterManager(name, func(h *heap.Heap, p *profile.Profile) (mm.Manager, error) {
+		return &fakeManager{heap: h, prof: p}, nil
+	})
+	m, err := NewManager(name, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := m.(*fakeManager)
+	if fm.heap == nil {
+		t.Error("nil heap not replaced with a default heap")
+	}
+	found := false
+	for _, got := range Managers() {
+		if got == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Managers() = %v missing %s", Managers(), name)
+	}
+}
+
+func TestRegisterAndBuildWorkload(t *testing.T) {
+	name := uniqueName("test-wl")
+	var gotOpts WorkloadOpts
+	RegisterWorkload(name, func(o WorkloadOpts) (*trace.Trace, error) {
+		gotOpts = o
+		b := trace.NewBuilder(name)
+		b.Free(b.Alloc(64, 0))
+		return b.Build(), nil
+	})
+	tr, err := BuildWorkload(name, WorkloadOpts{Seed: 9, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != name || len(tr.Events) != 2 {
+		t.Errorf("unexpected trace %q with %d events", tr.Name, len(tr.Events))
+	}
+	if gotOpts.Seed != 9 || !gotOpts.Quick {
+		t.Errorf("opts not forwarded: %+v", gotOpts)
+	}
+	found := false
+	for _, got := range Workloads() {
+		if got == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Workloads() = %v missing %s", Workloads(), name)
+	}
+}
+
+func TestUnknownNamesError(t *testing.T) {
+	if _, err := NewManager("no-such-manager", nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "no-such-manager") {
+		t.Errorf("unknown manager error = %v", err)
+	}
+	if _, err := BuildWorkload("no-such-workload", WorkloadOpts{}); err == nil ||
+		!strings.Contains(err.Error(), "no-such-workload") {
+		t.Errorf("unknown workload error = %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	name := uniqueName("test-dup")
+	RegisterManager(name, func(h *heap.Heap, p *profile.Profile) (mm.Manager, error) {
+		return &fakeManager{}, nil
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterManager did not panic")
+		}
+	}()
+	RegisterManager(name, func(h *heap.Heap, p *profile.Profile) (mm.Manager, error) {
+		return &fakeManager{}, nil
+	})
+}
+
+func TestNilCtorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil constructor did not panic")
+		}
+	}()
+	RegisterManager(uniqueName("test-nil"), nil)
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"dmmkit/internal/heap"
@@ -100,16 +101,30 @@ func (lt *liveTable) take(id int64) (heap.Addr, bool) {
 	return p, ok
 }
 
+// cancelCheckMask batches context checks on the replay hot path: the
+// context is polled once every 4096 events, bounding both the polling
+// cost (one atomic load per batch) and the cancellation latency.
+const cancelCheckMask = 4096 - 1
+
 // Run replays a trace against a manager, returning footprint statistics.
 // The manager is used as-is (callers Reset or construct fresh managers for
-// independent runs).
-func Run(m mm.Manager, t *Trace, opts RunOpts) (Result, error) {
+// independent runs). Cancelling ctx stops the replay between events and
+// returns the context's error; a nil ctx is treated as context.Background.
+func Run(ctx context.Context, m mm.Manager, t *Trace, opts RunOpts) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	addrs := newLiveTable(t)
 	res := Result{Manager: m.Name(), TraceName: t.Name, Events: len(t.Events)}
 	if opts.SampleEvery > 0 {
 		res.Series = make([]Point, 0, len(t.Events)/opts.SampleEvery+1)
 	}
 	for i := range t.Events {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("replay %q on %s: event %d: %w", t.Name, m.Name(), i, err)
+			}
+		}
 		e := &t.Events[i]
 		switch e.Kind {
 		case KindAlloc:

@@ -1,0 +1,86 @@
+// Replay tests live in an external test package: they drive Run with a
+// real manager (Kingsley), and the allocator packages now import the
+// registry — whose types mention profile, which imports trace — so an
+// in-package test would form an import cycle.
+package trace_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dmmkit/internal/alloc/kingsley"
+	"dmmkit/internal/heap"
+	"dmmkit/internal/trace"
+)
+
+func replayTrace() *trace.Trace {
+	b := trace.NewBuilder("sample")
+	ids := make([]int64, 0)
+	for i := 0; i < 10; i++ {
+		ids = append(ids, b.Alloc(int64(100+i*8), i%3))
+		b.Tick()
+	}
+	b.SetPhase(1)
+	for _, id := range ids[:5] {
+		b.Free(id)
+		b.Tick()
+	}
+	for i := 0; i < 4; i++ {
+		ids = append(ids, b.Alloc(int64(2000+i), 7))
+	}
+	for _, id := range ids[5:] {
+		b.Free(id)
+	}
+	return b.Build()
+}
+
+func TestReplayProducesFootprint(t *testing.T) {
+	tr := replayTrace()
+	m := kingsley.New(heap.New(heap.Config{}))
+	res, err := trace.Run(context.Background(), m, tr, trace.RunOpts{SampleEvery: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MaxFootprint <= 0 {
+		t.Error("MaxFootprint not positive")
+	}
+	if res.MaxLive != tr.MaxLiveBytes() {
+		t.Errorf("MaxLive = %d, want %d", res.MaxLive, tr.MaxLiveBytes())
+	}
+	if res.MaxFootprint < res.MaxLive {
+		t.Errorf("footprint %d below live bytes %d", res.MaxFootprint, res.MaxLive)
+	}
+	if len(res.Series) != len(tr.Events) {
+		t.Errorf("series has %d points, want %d", len(res.Series), len(tr.Events))
+	}
+	if res.Overhead() < 1.0 {
+		t.Errorf("Overhead = %.2f, want >= 1", res.Overhead())
+	}
+}
+
+func TestReplayReportsBadTrace(t *testing.T) {
+	m := kingsley.New(heap.New(heap.Config{}))
+	tr := &trace.Trace{Name: "bad", Events: []trace.Event{{Kind: trace.KindFree, ID: 9}}}
+	if _, err := trace.Run(context.Background(), m, tr, trace.RunOpts{}); err == nil {
+		t.Error("replay of invalid trace succeeded")
+	}
+}
+
+func TestReplayNilContextDefaults(t *testing.T) {
+	m := kingsley.New(heap.New(heap.Config{}))
+	//nolint:staticcheck // deliberate: Run must tolerate a nil ctx
+	if _, err := trace.Run(nil, m, replayTrace(), trace.RunOpts{}); err != nil {
+		t.Errorf("Run with nil ctx: %v", err)
+	}
+}
+
+func TestReplayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the replay must stop at the first check
+	m := kingsley.New(heap.New(heap.Config{}))
+	_, err := trace.Run(ctx, m, replayTrace(), trace.RunOpts{})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Run on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

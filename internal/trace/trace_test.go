@@ -5,9 +5,6 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
-
-	"dmmkit/internal/alloc/kingsley"
-	"dmmkit/internal/heap"
 )
 
 func sampleTrace() *Trace {
@@ -143,38 +140,6 @@ func TestBinaryRoundTripLargeRandom(t *testing.T) {
 	}
 	if !reflect.DeepEqual(tr, got) {
 		t.Error("large random trace round trip mismatch")
-	}
-}
-
-func TestReplayProducesFootprint(t *testing.T) {
-	tr := sampleTrace()
-	m := kingsley.New(heap.New(heap.Config{}))
-	res, err := Run(m, tr, RunOpts{SampleEvery: 1})
-	if err != nil {
-		t.Fatalf("Run: %v", err)
-	}
-	if res.MaxFootprint <= 0 {
-		t.Error("MaxFootprint not positive")
-	}
-	if res.MaxLive != tr.MaxLiveBytes() {
-		t.Errorf("MaxLive = %d, want %d", res.MaxLive, tr.MaxLiveBytes())
-	}
-	if res.MaxFootprint < res.MaxLive {
-		t.Errorf("footprint %d below live bytes %d", res.MaxFootprint, res.MaxLive)
-	}
-	if len(res.Series) != len(tr.Events) {
-		t.Errorf("series has %d points, want %d", len(res.Series), len(tr.Events))
-	}
-	if res.Overhead() < 1.0 {
-		t.Errorf("Overhead = %.2f, want >= 1", res.Overhead())
-	}
-}
-
-func TestReplayReportsBadTrace(t *testing.T) {
-	m := kingsley.New(heap.New(heap.Config{}))
-	tr := &Trace{Name: "bad", Events: []Event{{Kind: KindFree, ID: 9}}}
-	if _, err := Run(m, tr, RunOpts{}); err == nil {
-		t.Error("replay of invalid trace succeeded")
 	}
 }
 

@@ -1,6 +1,7 @@
 package drr
 
 import (
+	"context"
 	"testing"
 
 	"dmmkit/internal/heap"
@@ -89,12 +90,12 @@ func TestReplaysOnRealManagers(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := kingsley.New(heap.New(heap.Config{}))
-	rk, err := trace.Run(k, res.Trace, trace.RunOpts{})
+	rk, err := trace.Run(context.Background(), k, res.Trace, trace.RunOpts{})
 	if err != nil {
 		t.Fatalf("kingsley replay: %v", err)
 	}
 	l := lea.New(heap.New(heap.Config{}), lea.Config{})
-	rl, err := trace.Run(l, res.Trace, trace.RunOpts{})
+	rl, err := trace.Run(context.Background(), l, res.Trace, trace.RunOpts{})
 	if err != nil {
 		t.Fatalf("lea replay: %v", err)
 	}

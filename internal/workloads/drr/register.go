@@ -1,0 +1,21 @@
+package drr
+
+import (
+	"dmmkit/internal/netsim"
+	"dmmkit/internal/registry"
+	"dmmkit/internal/trace"
+)
+
+func init() {
+	registry.RegisterWorkload("drr", func(o registry.WorkloadOpts) (*trace.Trace, error) {
+		cfg := Config{Seed: o.Seed}
+		if o.Quick {
+			cfg.Net = netsim.Config{Phases: 4, PhaseMs: 250}
+		}
+		res, err := BuildTrace(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
+	})
+}

@@ -1,0 +1,20 @@
+package recon3d
+
+import (
+	"dmmkit/internal/registry"
+	"dmmkit/internal/trace"
+)
+
+func init() {
+	registry.RegisterWorkload("recon3d", func(o registry.WorkloadOpts) (*trace.Trace, error) {
+		cfg := Config{Seed: o.Seed}
+		if o.Quick {
+			cfg.Pairs = 2
+		}
+		res, err := BuildTrace(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
+	})
+}

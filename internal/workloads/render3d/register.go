@@ -1,0 +1,21 @@
+package render3d
+
+import (
+	"dmmkit/internal/registry"
+	"dmmkit/internal/trace"
+)
+
+func init() {
+	registry.RegisterWorkload("render3d", func(o registry.WorkloadOpts) (*trace.Trace, error) {
+		cfg := Config{Seed: o.Seed}
+		if o.Quick {
+			cfg.Detail = 600
+			cfg.Frames = 48
+		}
+		res, err := BuildTrace(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
+	})
+}

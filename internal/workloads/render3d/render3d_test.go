@@ -1,6 +1,7 @@
 package render3d
 
 import (
+	"context"
 	"testing"
 
 	"dmmkit/internal/heap"
@@ -66,7 +67,7 @@ func TestObstackSuffersInFinalPhase(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := obstack.New(heap.New(heap.Config{}), 0)
-	r, err := trace.Run(m, res.Trace, trace.RunOpts{})
+	r, err := trace.Run(context.Background(), m, res.Trace, trace.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
