@@ -15,6 +15,7 @@
 //	dmmbench -exp perf
 //	dmmbench -exp order
 //	dmmbench -exp static
+//	dmmbench -exp evo               # fig-evo: GA vs exhaustive search
 //	dmmbench -exp all -seeds 10
 //	dmmbench -exp bench -json BENCH_table1.json   # machine-readable perf baseline
 package main
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, fits, bench, all")
+		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, evo, fits, bench, all")
 		seeds    = flag.Int("seeds", 10, "traces per case study (the paper averages 10)")
 		quick    = flag.Bool("quick", false, "smaller workloads (for smoke runs)")
 		parallel = flag.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -104,6 +105,13 @@ func main() {
 			return err
 		}
 		return experiments.WriteStatic(os.Stdout, st)
+	})
+	run("evo", func() error {
+		er, err := experiments.RunEvo(ctx, cfg, *seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteEvo(os.Stdout, er)
 	})
 	run("fits", func() error {
 		frs, err := experiments.RunFitAblation(ctx, cfg)

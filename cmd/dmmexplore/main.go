@@ -1,8 +1,16 @@
 // Command dmmexplore explores the DM-management design space against a
-// trace: it evaluates a uniform sample of the ~144k valid decision
+// trace: it evaluates candidates drawn from the ~144k valid decision
 // vectors plus the methodology's design, prints the footprint/work Pareto
 // front, and shows where the methodology's one-walk design lands relative
-// to exhaustive search.
+// to search.
+//
+// Two search strategies are available. -strategy exhaustive (the default)
+// evaluates a uniform stride sample of at most -candidates vectors;
+// -strategy ga runs a deterministic seeded genetic algorithm (tournament
+// selection, constraint-repaired crossover and mutation, elitism) that
+// typically matches the exhaustive best while evaluating a fraction of
+// the candidates. -seed seeds both the workload generator and the GA, so
+// a run is reproduced exactly by its command line at any -parallel.
 //
 // Candidates are evaluated concurrently on -parallel workers (every
 // candidate owns a private simulated heap), with results identical to a
@@ -11,6 +19,7 @@
 // Usage:
 //
 //	dmmexplore -workload drr -candidates 96
+//	dmmexplore -workload drr -strategy ga -population 24 -generations 20
 //	dmmexplore -workload render3d -parallel 8
 //	dmmexplore drr1.trace
 package main
@@ -29,12 +38,15 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "", "generate and explore a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
-		seed       = flag.Int64("seed", 1, "workload seed")
-		candidates = flag.Int("candidates", 96, "enumerated vectors to evaluate (upper bound)")
-		quick      = flag.Bool("quick", true, "use a reduced workload (exploration replays every candidate)")
-		parallel   = flag.Int("parallel", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
-		progress   = flag.Bool("progress", true, "report evaluation progress on stderr")
+		workload    = flag.String("workload", "", "generate and explore a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
+		seed        = flag.Int64("seed", 1, "seed for the workload generator and the GA (identical seed = identical run)")
+		strategy    = flag.String("strategy", "exhaustive", "search strategy: exhaustive or ga")
+		candidates  = flag.Int("candidates", 96, "evaluation budget: stride-sample size (exhaustive) or max evaluations (ga)")
+		population  = flag.Int("population", 24, "GA individuals per generation")
+		generations = flag.Int("generations", 20, "GA generation cap (stops earlier on convergence)")
+		quick       = flag.Bool("quick", true, "use a reduced workload (exploration replays every candidate)")
+		parallel    = flag.Int("parallel", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
+		progress    = flag.Bool("progress", true, "report evaluation progress on stderr")
 	)
 	flag.Parse()
 
@@ -61,12 +73,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("exploring up to %d of %d candidates against %q (%d events, live peak %d B)...\n\n",
-		*candidates, dmmkit.SpaceSize(), tr.Name, len(tr.Events), tr.MaxLiveBytes())
 	opts := dmmkit.ExploreOpts{
 		MaxCandidates:   *candidates,
 		IncludeDesigned: true,
 		Parallelism:     *parallel,
+	}
+	switch *strategy {
+	case "exhaustive":
+		fmt.Printf("exploring up to %d of %d candidates against %q (%d events, live peak %d B)...\n\n",
+			*candidates, dmmkit.SpaceSize(), tr.Name, len(tr.Events), tr.MaxLiveBytes())
+	case "ga":
+		opts.Strategy = dmmkit.NewGASearch(*seed, dmmkit.GASearchConfig{
+			Population:     *population,
+			Generations:    *generations,
+			MaxEvaluations: *candidates,
+		})
+		fmt.Printf("genetic search (seed %d, population %d, <= %d generations, <= %d evaluations) over %d valid vectors against %q (%d events, live peak %d B)...\n\n",
+			*seed, *population, *generations, *candidates, dmmkit.SpaceSize(), tr.Name, len(tr.Events), tr.MaxLiveBytes())
+	default:
+		fmt.Fprintf(os.Stderr, "dmmexplore: unknown -strategy %q (want exhaustive or ga)\n", *strategy)
+		os.Exit(2)
 	}
 	if *progress {
 		opts.OnProgress = func(done, total int) {
@@ -94,7 +120,8 @@ func main() {
 		}
 	}
 	front := dmmkit.ParetoFront(cands)
-	fmt.Printf("evaluated %d candidates (%d failed); Pareto front (footprint vs work):\n\n", len(cands), failed)
+	fmt.Printf("evaluated %d candidates (%d failed, %.2f%% of the space); Pareto front (footprint vs work):\n\n",
+		len(cands), failed, 100*float64(len(cands))/float64(dmmkit.SpaceSize()))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "footprint (B)\twork units\tdesigned?\tvector")
 	for _, c := range front {
@@ -106,6 +133,9 @@ func main() {
 	}
 	tw.Flush()
 
+	if best, ok := dmmkit.BestByFootprint(cands); ok {
+		fmt.Printf("\nbest footprint: %d B (work %d)\n", best.MaxFootprint, best.Work)
+	}
 	if designed != nil && designed.Err == nil {
 		rank := 1
 		for _, c := range cands {
@@ -113,7 +143,7 @@ func main() {
 				rank++
 			}
 		}
-		fmt.Printf("\nmethodology design: footprint %d B, work %d — rank %d/%d by footprint\n",
+		fmt.Printf("methodology design: footprint %d B, work %d — rank %d/%d by footprint\n",
 			designed.MaxFootprint, designed.Work, rank, len(cands)-failed)
 		fmt.Printf("decision vector: %s\n", designed.Vector)
 	}

@@ -212,9 +212,11 @@ type (
 // count (<= 0 means GOMAXPROCS).
 func NewEngine(parallelism int) *Engine { return core.NewEngine(parallelism) }
 
-// Explore evaluates a uniform sample of the valid design space against a
-// trace (plus the methodology's design), returning measured candidates in
-// a deterministic order. It is the convenience form of Engine.Explore;
+// Explore evaluates design-space candidates against a trace (plus the
+// methodology's design), returning measured candidates in a deterministic
+// order. Candidates come from opts.Strategy — nil selects a uniform
+// exhaustive sample capped at opts.MaxCandidates; NewGASearch selects the
+// seeded genetic search. It is the convenience form of Engine.Explore;
 // evaluation parallelizes per opts.Parallelism (default GOMAXPROCS) with
 // results identical to a sequential run.
 func Explore(ctx context.Context, t *Trace, opts ExploreOpts) ([]Candidate, error) {
@@ -269,6 +271,11 @@ func Workloads() []string { return registry.Workloads() }
 
 // ParetoFront filters candidates to the footprint/work Pareto front.
 func ParetoFront(cands []Candidate) []Candidate { return core.ParetoFront(cands) }
+
+// BestByFootprint returns the successful candidate with the smallest
+// footprint, breaking ties by work; ok is false when every candidate
+// failed.
+func BestByFootprint(cands []Candidate) (Candidate, bool) { return core.BestByFootprint(cands) }
 
 // NewTraceBuilder returns a builder for a named trace.
 func NewTraceBuilder(name string) *TraceBuilder { return trace.NewBuilder(name) }

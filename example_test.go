@@ -87,3 +87,98 @@ func ExampleNewCustom() {
 	// Output:
 	// gross block size: 2048
 }
+
+// ExampleRegisterManager adds a new manager family and a new workload to
+// the registry, then uses them through the same lookups every CLI and
+// experiment driver uses. The manager here is a custom design-space point
+// (an exact-fit single-pool manager); a from-scratch implementation of
+// dmmkit.Manager works the same way.
+func ExampleRegisterManager() {
+	// A hand-written decision vector: single pool, exact fit, full
+	// split+coalesce support.
+	var v dmmkit.Vector
+	v.Set(dmmkit.TreeBlockStructure, dmmkit.DoublyLinked)
+	v.Set(dmmkit.TreeBlockSizes, dmmkit.ManyVarSizes)
+	v.Set(dmmkit.TreeBlockTags, dmmkit.HeaderTag)
+	v.Set(dmmkit.TreeRecordedInfo, dmmkit.RecordSizeStatusPrev)
+	v.Set(dmmkit.TreeFlexBlockSize, dmmkit.SplitCoalesce)
+	v.Set(dmmkit.TreePoolDivision, dmmkit.SinglePool)
+	v.Set(dmmkit.TreePoolRange, dmmkit.AnyRange)
+	v.Set(dmmkit.TreeFit, dmmkit.ExactFit)
+	v.Set(dmmkit.TreeCoalesceWhen, dmmkit.Always)
+	v.Set(dmmkit.TreeSplitWhen, dmmkit.Always)
+	v.Set(dmmkit.TreeMaxBlockSizes, dmmkit.ManyNotFixed)
+	v.Set(dmmkit.TreeMinBlockSizes, dmmkit.ManyNotFixed)
+
+	dmmkit.RegisterManager("exactfit", func(h *dmmkit.Heap, p *dmmkit.AppProfile) (dmmkit.Manager, error) {
+		return dmmkit.NewCustom(h, v, dmmkit.Params{})
+	})
+	dmmkit.RegisterWorkload("pings", func(o dmmkit.WorkloadOpts) (*dmmkit.Trace, error) {
+		b := dmmkit.NewTraceBuilder("pings")
+		for i := 0; i < 64; i++ {
+			id := b.Alloc(64+int64(o.Seed)+int64(i%3)*512, 0)
+			b.Free(id)
+		}
+		return b.Build(), nil
+	})
+
+	tr, err := dmmkit.BuildWorkload("pings", dmmkit.WorkloadOpts{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m, err := dmmkit.NewManagerByName("exactfit", nil, dmmkit.Profile(tr))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := dmmkit.Replay(context.Background(), m, tr, dmmkit.ReplayOpts{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("replayed events:", res.Events)
+	fmt.Println("footprint covers live bytes:", res.MaxFootprint >= res.MaxLive)
+	// Output:
+	// replayed events: 128
+	// footprint covers live bytes: true
+}
+
+// ExampleNewGASearch explores the design space with the seeded genetic
+// strategy and demonstrates the reproducibility contract: the same seed
+// gives the same best vector at any parallelism.
+func ExampleNewGASearch() {
+	b := dmmkit.NewTraceBuilder("ga-example")
+	var ids []int64
+	for i := 0; i < 200; i++ {
+		ids = append(ids, b.Alloc(int64(32+(i%5)*144), 0))
+		if len(ids) > 6 {
+			b.Free(ids[0])
+			ids = ids[1:]
+		}
+	}
+	for _, id := range ids {
+		b.Free(id)
+	}
+	tr := b.Build()
+
+	best := func(parallelism int) dmmkit.Candidate {
+		cands, err := dmmkit.Explore(context.Background(), tr, dmmkit.ExploreOpts{
+			Strategy: dmmkit.NewGASearch(9, dmmkit.GASearchConfig{
+				Population: 8, Generations: 4,
+			}),
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			panic(err)
+		}
+		c, _ := dmmkit.BestByFootprint(cands)
+		return c
+	}
+	sequential, parallel := best(1), best(8)
+	fmt.Println("same best vector at P=1 and P=8:", sequential.Vector == parallel.Vector)
+	fmt.Println("same footprint:", sequential.MaxFootprint == parallel.MaxFootprint)
+	// Output:
+	// same best vector at P=1 and P=8: true
+	// same footprint: true
+}

@@ -87,6 +87,25 @@ func main() {
 	}
 	fmt.Printf("\nenumerated candidates with a smaller footprint than the designed manager: %d\n\n", better)
 
+	// Evolutionary search: the seeded GA proposes generations of vectors,
+	// learns from their measured footprints, and typically matches the
+	// exhaustive sample's best while evaluating far fewer candidates. The
+	// same seed reproduces the identical run at any parallelism.
+	gaCands, err := engine.Explore(context.Background(), tr, dmmkit.ExploreOpts{
+		Strategy: dmmkit.NewGASearch(7, dmmkit.GASearchConfig{
+			Population: 14, Generations: 12, Patience: 8, MaxEvaluations: 48,
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exhaustiveBest, _ := dmmkit.BestByFootprint(cands)
+	gaBest, ok := dmmkit.BestByFootprint(gaCands)
+	if ok {
+		fmt.Printf("genetic search: best %d B after %d evaluations (exhaustive best %d B after %d)\n\n",
+			gaBest.MaxFootprint, len(gaCands), exhaustiveBest.MaxFootprint, len(cands))
+	}
+
 	// Early cancellation: cancel the context after a handful of results.
 	// Explore stops promptly and returns the contiguous prefix of
 	// candidates it had already streamed, together with ctx's error.

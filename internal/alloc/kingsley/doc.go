@@ -1,0 +1,22 @@
+// Package kingsley implements the Kingsley power-of-two segregated-fit
+// allocator, the policy behind the 4.4BSD libc malloc and the baseline the
+// paper identifies with Windows-based systems.
+//
+// Policy (after Wilson et al.'s survey, the paper's reference [19]):
+//
+//   - Requests are rounded up to the next power of two; one free list per
+//     size class holds blocks of exactly that gross size.
+//   - Allocation pops the class's free list; when empty, a new extent is
+//     carved from the system in page-sized chunks and split into blocks of
+//     the class size.
+//   - Free pushes the block back on its class list. Blocks are never
+//     split, never coalesced and never returned to the system, so every
+//     class retains its own high-water mark of memory forever — the
+//     behaviour responsible for Kingsley's large footprints in Table 1 of
+//     the paper.
+//
+// Each block carries a four-byte header recording its gross size, which is
+// how free recovers the class. In the design space of the paper the policy
+// is the point: A2=many-fixed, A3=header, A4=size, A5=none,
+// B1=pool-per-class, B4=pow2-classes, C1=first(-of-class), D2=E2=never.
+package kingsley

@@ -1,0 +1,29 @@
+// Package lea implements a Lea-style allocator: the dlmalloc policy that
+// the paper identifies as the basis of Linux-based systems and uses as its
+// strongest general-purpose baseline.
+//
+// The implementation follows dlmalloc 2.7's policy elements as described
+// in Wilson et al.'s survey and Lea's own documentation:
+//
+//   - Boundary tags: every block has a 4-byte size/status header; free
+//     blocks additionally carry a 4-byte footer, enabling constant-time
+//     bidirectional coalescing. (Real dlmalloc overlaps the footer with
+//     the neighbour's prev_size slot; here the footer is reserved inside
+//     the block, costing 4 bytes more per block — documented.)
+//   - Segregated bins: exact-spaced small bins (8-byte spacing up to 504
+//     bytes gross) and logarithmically spaced, size-sorted large bins,
+//     searched best-fit.
+//   - Deferred coalescing for tiny blocks ("fastbins", gross <= 80
+//     bytes): freed tiny blocks keep their used bit and are recycled
+//     LIFO without merging until a consolidation pass runs. This is the
+//     "coalesce seldomly" behaviour the paper ascribes to Lea.
+//   - A wilderness (top) chunk bordering the program break, extended via
+//     sbrk and trimmed back to the system when it exceeds TrimThreshold.
+//   - mmap for huge requests (>= MmapThreshold), returned to the system
+//     on free.
+//
+// In the design space: A1=doubly-linked, A2=many-variable, A3=both tags,
+// A4=size+status, A5=split+coalesce, B1=pool-per-class (bins),
+// B4=exact+log classes, C1=best fit, D2=deferred (fastbins) /
+// always (others), E2=always.
+package lea

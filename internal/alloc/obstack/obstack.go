@@ -1,24 +1,3 @@
-// Package obstack implements an obstack ("object stack") manager in the
-// style of GNU obstacks, the custom allocator the paper uses as the
-// strongest baseline for the 3D rendering case study because of the
-// application's stack-like allocation phases.
-//
-// Objects are bump-allocated inside page-sized chunks obtained from the
-// system. Obstacks are optimized for LIFO lifetimes: freeing the most
-// recently allocated object releases its space immediately, and chunks
-// that empty out are returned to the system at once.
-//
-// Freeing out of LIFO order is where obstacks lose: this implementation
-// marks such objects dead but cannot reclaim their space until every
-// object allocated after them has also been freed. That deferred
-// reclamation is precisely the "high memory footprint penalty in the final
-// phases" the paper observes for Obstacks in Sec. 5 (the GNU API makes the
-// same trade: obstack_free(ptr) would discard everything newer than ptr,
-// which a correct application cannot do while newer objects are live).
-//
-// In the design space: A2=many-variable, A3=none (no per-object tags),
-// A5=split-only in spirit (bump carving), B3=per-phase chunks, C1=pointer
-// bump, D2=E2=never.
 package obstack
 
 import (

@@ -1,23 +1,3 @@
-// Package region implements the region/partition manager the paper
-// compares against for the 3D image reconstruction case study: the style
-// of Gay–Aiken region allocation found in embedded real-time operating
-// systems such as RTEMS, where each region serves blocks of one fixed
-// size.
-//
-// A region is selected by the allocation request's Tag (the allocation
-// site or data type). Every block handed out of a region has the region's
-// fixed block size, which the designer of such a manager chooses for the
-// worst-case request of that site — exactly the manual design the paper
-// describes. Requests smaller than the region block size therefore waste
-// the difference as internal fragmentation ("the requests of several block
-// sizes creates internal fragmentation", Sec. 5).
-//
-// Freed blocks return to their region's free list and are reused, but
-// memory is never returned to the system and never shared across regions.
-//
-// In the paper's design space the policy is: A2=many-fixed, A3=header,
-// A4=size, A5=none, B1=pool-per-class (region=pool), B4=fixed-size,
-// C1=first(-of-region), D2=E2=never.
 package region
 
 import (

@@ -1,0 +1,6 @@
+// Package alloctest provides a conformance and property-test harness that
+// every dynamic memory manager in this repository must pass. It checks the
+// allocator contract (correct payloads, no overlap, error behaviour) and
+// the accounting invariants the experiments rely on (footprint vs. live
+// bytes, stats consistency).
+package alloctest

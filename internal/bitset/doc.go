@@ -1,0 +1,6 @@
+// Package bitset provides a small growable bitset used to index nonempty
+// free-list pools: "first nonempty pool at or after position i" becomes a
+// TrailingZeros64 scan over words instead of a walk over pool structures.
+// It supports insertion of a zero bit at a position, mirroring insertion
+// into a sorted key slice the bitset runs parallel to.
+package bitset

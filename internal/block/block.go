@@ -1,23 +1,3 @@
-// Package block defines the in-band block layouts used by the dynamic
-// memory managers: which tag fields (header/footer) a block carries and
-// what they record (size, status, previous-block size), plus typed
-// accessors over a simulated heap.
-//
-// The layout of a block is exactly what the paper's decision trees A3
-// ("Block tags") and A4 ("Block recorded info") choose. Every byte of
-// metadata a layout requires is physically reserved inside the arena, so
-// the organization overhead the paper discusses (Sec. 4.1, factor 1a) is
-// measured, not estimated.
-//
-// Block addresses refer to the first byte of the block (its header, when
-// one exists). Payload addresses are what the application sees.
-//
-// Word layout (little endian, 32-bit fields):
-//
-//	header word 0: size (multiple of 8) | bit0 used | bit1 prevUsed
-//	header word 1: prev block size (only with InfoPrevSize)
-//	payload:       first 4 or 8 bytes reused as free-list links when free
-//	footer word:   copy of size|used, at block end (only with TagsBoth)
 package block
 
 import (

@@ -7,15 +7,17 @@ import (
 
 	workpool "dmmkit/internal/pool"
 	"dmmkit/internal/profile"
+	"dmmkit/internal/search"
 	"dmmkit/internal/trace"
 )
 
 // Engine runs design-space explorations concurrently. Candidate
 // evaluation is embarrassingly parallel — every candidate replays the
-// trace against a private simulated heap — so the engine fans evaluation
-// out over a worker pool while keeping the result deterministic: the
-// returned candidate slice is identical (vectors, footprints, work,
-// ordering) at every parallelism level, including 1.
+// trace against a private simulated heap — so the engine fans each
+// generation of a search strategy out over a worker pool while keeping
+// the result deterministic: the returned candidate slice is identical
+// (vectors, footprints, work, ordering) at every parallelism level,
+// including 1.
 //
 // The zero value is a valid engine that uses GOMAXPROCS workers.
 type Engine struct {
@@ -28,12 +30,19 @@ type Engine struct {
 // (<= 0 means GOMAXPROCS).
 func NewEngine(parallelism int) *Engine { return &Engine{Parallelism: parallelism} }
 
-// Explore evaluates a uniform sample of the valid design space against a
-// trace on a worker pool, plus the methodology's design when requested.
-// The candidate order is deterministic: enumeration order, designed
-// candidate last — byte-identical to a sequential run. Cancelling ctx
-// stops evaluation early and returns the contiguous prefix of candidates
-// already streamed, together with the context's error.
+// Explore evaluates design-space candidates against a trace on a worker
+// pool, plus the methodology's design when requested. The candidates come
+// from opts.Strategy, one generation at a time: each generation is
+// evaluated in parallel, its results are observed by the strategy in
+// proposal order, and only then is the next generation proposed — which is
+// why adaptive strategies (the seeded GA) stay deterministic at every
+// parallelism level. A nil strategy selects the exhaustive stride sampler
+// capped at opts.MaxCandidates.
+//
+// The candidate order is deterministic: proposal order, designed candidate
+// last — byte-identical to a sequential run. Cancelling ctx stops
+// evaluation early and returns the contiguous prefix of candidates already
+// streamed, together with the context's error.
 func (e *Engine) Explore(ctx context.Context, tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -48,53 +57,101 @@ func (e *Engine) Explore(ctx context.Context, tr *trace.Trace, opts ExploreOpts)
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	strat := opts.Strategy
+	if strat == nil {
+		strat = search.NewExhaustive(opts.MaxCandidates)
+	}
 
 	prof := profile.FromTrace(tr)
-	vectors := sampleVectors(opts.MaxCandidates)
-	n := len(vectors)
-	total := n
-	var designed Design
-	if opts.IncludeDesigned {
-		designed = DesignFor(prof)
-		total++
-	}
 	tr2 := traitsOf(prof)
 
-	out := make([]Candidate, total)
-	em := &emitter{total: total, ready: make([]bool, total), opts: &opts}
-	err := workpool.Run(ctx, par, total, func(i int) error {
-		// Build/replay failures are per-candidate data (Candidate.Err),
-		// not exploration failures; only cancellation aborts the run.
-		if i < n {
-			v := vectors[i]
-			out[i] = evaluate(ctx, v, deriveParams(v, tr2, prof), tr, false)
-		} else {
-			out[i] = evaluate(ctx, designed.Vector, designed.Params, tr, true)
+	var out []Candidate
+	em := &emitter{opts: &opts}
+	if opts.IncludeDesigned {
+		em.reserved = 1
+	}
+
+	// Build/replay failures are per-candidate data (Candidate.Err), not
+	// exploration failures; only cancellation aborts the run.
+	runBatch := func(n int, eval func(i int) Candidate) error {
+		base := len(out)
+		out = append(out, make([]Candidate, n)...)
+		em.extend(n)
+		return workpool.Run(ctx, par, n, func(i int) error {
+			out[base+i] = eval(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			em.done(base+i, out)
+			return nil
+		})
+	}
+
+	for {
+		batch := strat.Next()
+		if len(batch) == 0 {
+			break
 		}
-		if err := ctx.Err(); err != nil {
-			return err
+		base := len(out)
+		err := runBatch(len(batch), func(i int) Candidate {
+			v := batch[i]
+			return evaluate(ctx, v, deriveParams(v, tr2, prof), tr, false)
+		})
+		if err != nil {
+			return out[:em.prefix()], err
 		}
-		em.done(i, out)
-		return nil
-	})
-	if err != nil {
-		return out[:em.prefix()], err
+		strat.Observe(resultsOf(out[base:]))
+	}
+
+	if opts.IncludeDesigned {
+		em.reserved = 0
+		designed := DesignFor(prof)
+		err := runBatch(1, func(int) Candidate {
+			return evaluate(ctx, designed.Vector, designed.Params, tr, true)
+		})
+		if err != nil {
+			return out[:em.prefix()], err
+		}
 	}
 	return out, nil
 }
 
-// emitter serializes the streaming callbacks: OnProgress fires on every
-// completion, OnCandidate fires in deterministic index order as soon as a
-// candidate and all its predecessors are done. The callbacks run under the
-// emitter's lock, so they are never concurrent and never out of order;
-// they should not block for long and must not re-enter the engine.
+// resultsOf projects evaluated candidates onto the strategy feedback type.
+func resultsOf(cands []Candidate) []search.Result {
+	rs := make([]search.Result, len(cands))
+	for i, c := range cands {
+		rs[i] = search.Result{
+			Vector:    c.Vector,
+			Footprint: c.MaxFootprint,
+			Work:      c.Work,
+			Failed:    c.Err != nil,
+		}
+	}
+	return rs
+}
+
+// emitter serializes the streaming callbacks across generations:
+// OnProgress fires on every completion, OnCandidate fires in deterministic
+// index order as soon as a candidate and all its predecessors are done.
+// The callbacks run under the emitter's lock, so they are never concurrent
+// and never out of order; they should not block for long and must not
+// re-enter the engine. reserved counts evaluations that are known to come
+// but not yet scheduled (the designed candidate), so progress totals don't
+// shrink between generations.
 type emitter struct {
-	mu    sync.Mutex
-	next  int // first index not yet streamed
-	count int // completions so far
-	ready []bool
-	total int
-	opts  *ExploreOpts
+	mu       sync.Mutex
+	next     int // first index not yet streamed
+	count    int // completions so far
+	ready    []bool
+	reserved int
+	opts     *ExploreOpts
+}
+
+// extend grows the emitter by one generation of n evaluations.
+func (em *emitter) extend(n int) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.ready = append(em.ready, make([]bool, n)...)
 }
 
 func (em *emitter) done(i int, out []Candidate) {
@@ -103,9 +160,9 @@ func (em *emitter) done(i int, out []Candidate) {
 	em.count++
 	em.ready[i] = true
 	if em.opts.OnProgress != nil {
-		em.opts.OnProgress(em.count, em.total)
+		em.opts.OnProgress(em.count, len(em.ready)+em.reserved)
 	}
-	for em.next < em.total && em.ready[em.next] {
+	for em.next < len(em.ready) && em.ready[em.next] {
 		if em.opts.OnCandidate != nil {
 			em.opts.OnCandidate(out[em.next])
 		}

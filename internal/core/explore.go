@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"dmmkit/internal/dspace"
 	"dmmkit/internal/heap"
+	"dmmkit/internal/search"
 	"dmmkit/internal/trace"
 )
 
@@ -23,9 +23,16 @@ type Candidate struct {
 
 // ExploreOpts configures a design-space exploration run.
 type ExploreOpts struct {
-	// MaxCandidates caps how many enumerated vectors are evaluated
-	// (default 128). The valid space has ~144k points; evaluation
-	// samples it with a uniform stride, never exceeding the cap.
+	// Strategy decides which vectors are evaluated, one generation at a
+	// time (see dmmkit/internal/search). nil selects the exhaustive
+	// ceiling-stride sampler capped at MaxCandidates — the classic
+	// Explore behaviour. Strategies carry state; use a fresh value per
+	// exploration.
+	Strategy search.Strategy
+	// MaxCandidates caps how many enumerated vectors are evaluated by
+	// the default exhaustive strategy (default 128). The valid space
+	// has ~144k points; evaluation samples it with a uniform stride,
+	// never exceeding the cap. Ignored when Strategy is set.
 	MaxCandidates int
 	// IncludeDesigned additionally evaluates the methodology's design,
 	// marking it in the result (default behaviour of Explore).
@@ -36,46 +43,20 @@ type ExploreOpts struct {
 	// identical at every parallelism level.
 	Parallelism int
 	// OnCandidate, when set, streams every evaluated candidate in the
-	// deterministic result order (enumeration order, designed last) as
+	// deterministic result order (proposal order, designed last) as
 	// soon as it and all its predecessors are done. Calls are serialized.
 	OnCandidate func(Candidate)
-	// OnProgress, when set, reports completion counts (done out of
-	// total) after every evaluated candidate. Calls are serialized.
+	// OnProgress, when set, reports completion counts after every
+	// evaluated candidate. total is the number of evaluations scheduled
+	// so far (the already-finished generations plus the one in flight,
+	// plus the designed candidate when requested); adaptive strategies
+	// grow it as they propose further generations. Calls are serialized.
 	OnProgress func(done, total int)
 }
 
-// spaceSize caches the number of valid design-space vectors: the count is
-// a pure function of the constraint tables, so it is enumerated once per
-// process instead of once per exploration.
-var spaceSize = sync.OnceValue(func() int {
-	return dspace.Enumerate(func(dspace.Vector) bool { return true })
-})
-
 // SpaceSize returns the number of valid decision vectors (~144k), cached
 // after the first enumeration.
-func SpaceSize() int { return spaceSize() }
-
-// sampleVectors collects a uniform stride sample of at most max valid
-// vectors, in enumeration order.
-func sampleVectors(max int) []dspace.Vector {
-	total := spaceSize()
-	// Ceiling stride guarantees at most max samples: stride*max >= total,
-	// so ceil(total/stride) <= max.
-	stride := (total + max - 1) / max
-	if stride < 1 {
-		stride = 1
-	}
-	vectors := make([]dspace.Vector, 0, (total+stride-1)/stride)
-	i := 0
-	dspace.Enumerate(func(v dspace.Vector) bool {
-		if i%stride == 0 {
-			vectors = append(vectors, v)
-		}
-		i++
-		return true
-	})
-	return vectors
-}
+func SpaceSize() int { return dspace.SpaceSize() }
 
 // Explore evaluates a uniform sample of the valid design space against a
 // trace, returning every candidate with its measured footprint and work.

@@ -3,7 +3,6 @@ package core
 import (
 	"testing"
 
-	"dmmkit/internal/dspace"
 	"dmmkit/internal/trace"
 )
 
@@ -101,46 +100,6 @@ func TestDesignedNearBestInSample(t *testing.T) {
 	// without exhaustive search).
 	if float64(designed.MaxFootprint) > 1.25*float64(best.MaxFootprint) {
 		t.Errorf("designed footprint %d far above sample best %d", designed.MaxFootprint, best.MaxFootprint)
-	}
-}
-
-// TestSampleStrideBounded pins the sampling contract: at most
-// MaxCandidates vectors, and the first/last samples sit exactly where the
-// ceiling stride puts them in enumeration order. (The previous floor
-// stride could overshoot the cap when total/max had a remainder.)
-func TestSampleStrideBounded(t *testing.T) {
-	total := SpaceSize()
-	for _, max := range []int{1, 7, 100, 128, 1000} {
-		vs := sampleVectors(max)
-		if len(vs) > max {
-			t.Fatalf("max %d: sampled %d vectors", max, len(vs))
-		}
-		stride := (total + max - 1) / max
-		wantCount := (total + stride - 1) / stride
-		if len(vs) != wantCount {
-			t.Fatalf("max %d: sampled %d vectors, want %d", max, len(vs), wantCount)
-		}
-		// Pin the first and last sampled vectors against a direct
-		// enumeration walk.
-		var first, last dspace.Vector
-		lastIdx := (wantCount - 1) * stride
-		i := 0
-		dspace.Enumerate(func(v dspace.Vector) bool {
-			if i == 0 {
-				first = v
-			}
-			if i == lastIdx {
-				last = v
-			}
-			i++
-			return true
-		})
-		if vs[0] != first {
-			t.Errorf("max %d: first sample %v, want %v", max, vs[0], first)
-		}
-		if vs[len(vs)-1] != last {
-			t.Errorf("max %d: last sample (idx %d) %v, want %v", max, lastIdx, vs[len(vs)-1], last)
-		}
 	}
 }
 

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/search"
+)
+
+func gaConfig() search.GAConfig {
+	return search.GAConfig{Population: 12, Generations: 8, Patience: 3}
+}
+
+// TestGADeterministic is the tentpole determinism contract: the same GA
+// seed and options must produce a byte-identical candidate stream — same
+// vectors, same order, same measurements — at parallelism 1 and 8. The
+// engine guarantees this by evaluating generation-at-a-time: the strategy's
+// randomness only advances between parallel barriers.
+func TestGADeterministic(t *testing.T) {
+	tr := exploreTrace()
+	run := func(parallelism int) []Candidate {
+		cands, err := NewEngine(0).Explore(context.Background(), tr, ExploreOpts{
+			Strategy:        search.NewGA(11, gaConfig()),
+			IncludeDesigned: true,
+			Parallelism:     parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cands
+	}
+	seq, par := run(1), run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential %d candidates, parallel %d", len(seq), len(par))
+	}
+	sk, pk := keysOf(seq), keysOf(par)
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Errorf("candidate %d diverges:\n  seq %+v\n  par %+v", i, sk[i], pk[i])
+		}
+	}
+	// Same seed, fresh strategy, same engine: the best vector is pinned too.
+	b1, ok1 := BestByFootprint(seq)
+	b2, ok2 := BestByFootprint(par)
+	if !ok1 || !ok2 || b1.Vector != b2.Vector {
+		t.Fatalf("best vectors diverge: %v vs %v", b1.Vector, b2.Vector)
+	}
+}
+
+// TestGAExploreStreamsInOrder checks the engine's streaming contract under
+// an adaptive multi-generation strategy: OnCandidate receives exactly the
+// returned candidates in order, and OnProgress totals only ever grow.
+func TestGAExploreStreamsInOrder(t *testing.T) {
+	tr := exploreTrace()
+	var streamed []Candidate
+	lastTotal := 0
+	cands, err := NewEngine(4).Explore(context.Background(), tr, ExploreOpts{
+		Strategy:        search.NewGA(2, gaConfig()),
+		IncludeDesigned: true,
+		OnCandidate:     func(c Candidate) { streamed = append(streamed, c) },
+		OnProgress: func(done, total int) {
+			if total < lastTotal {
+				t.Errorf("progress total shrank: %d after %d", total, lastTotal)
+			}
+			lastTotal = total
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(cands) {
+		t.Fatalf("streamed %d, returned %d", len(streamed), len(cands))
+	}
+	sk, ck := keysOf(streamed), keysOf(cands)
+	for i := range sk {
+		if sk[i] != ck[i] {
+			t.Errorf("streamed candidate %d out of order", i)
+		}
+	}
+	if lastTotal != len(cands) {
+		t.Errorf("final progress total %d, want %d", lastTotal, len(cands))
+	}
+	if !cands[len(cands)-1].Designed {
+		t.Error("designed candidate not last")
+	}
+}
+
+// TestGAExploreFindsSubspaceOptimum holds the GA against an exhaustive
+// oracle with real replay fitness: the pinned subspace (240 vectors) is
+// enumerated outright, and the GA must land on the same global-best
+// footprint while evaluating fewer vectors.
+func TestGAExploreFindsSubspaceOptimum(t *testing.T) {
+	tr := exploreTrace()
+	fix := search.Fixed{
+		dspace.A2BlockSizes: dspace.OneBlockSize,
+		dspace.C1Fit:        dspace.FirstFit,
+		dspace.B3PoolPhase:  dspace.SharedPools,
+	}
+	sub := search.Size(fix)
+	if sub == 0 || sub > 1000 {
+		t.Fatalf("subspace has %d vectors; want a small non-empty oracle", sub)
+	}
+
+	oracle, err := NewEngine(0).Explore(context.Background(), tr, ExploreOpts{
+		Strategy: &search.Exhaustive{Max: sub, Fix: fix},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle) != sub {
+		t.Fatalf("oracle evaluated %d of %d subspace vectors", len(oracle), sub)
+	}
+	want, ok := BestByFootprint(oracle)
+	if !ok {
+		t.Fatal("oracle found no successful candidate")
+	}
+
+	ga := search.NewGA(1, search.GAConfig{
+		Population:  16,
+		Generations: 12,
+		Patience:    6,
+		Fix:         fix,
+	})
+	cands, err := NewEngine(0).Explore(context.Background(), tr, ExploreOpts{Strategy: ga})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := BestByFootprint(cands)
+	if !ok {
+		t.Fatal("GA found no successful candidate")
+	}
+	if got.MaxFootprint != want.MaxFootprint {
+		t.Errorf("GA best footprint %d, exhaustive oracle %d (GA evaluated %d of %d)",
+			got.MaxFootprint, want.MaxFootprint, len(cands), sub)
+	}
+	if len(cands) >= sub {
+		t.Errorf("GA evaluated %d vectors, subspace holds only %d — no savings", len(cands), sub)
+	}
+}

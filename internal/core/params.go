@@ -1,19 +1,3 @@
-// Package core implements the paper's primary contribution: custom dynamic
-// memory managers composed from the DM-management design space of Atienza
-// et al. (DATE 2004).
-//
-// A core.Custom manager is built from one dspace.Vector — one leaf per
-// orthogonal decision tree — plus numeric Params that the methodology
-// derives from the application profile ("those decisions of the final
-// custom DM manager that depend on its particular run-time behaviour",
-// Sec. 5). The same engine therefore realizes Kingsley-like,
-// Lea-like, region-like and the paper's custom managers, differing only in
-// the decision vector, which is exactly the premise of the design space.
-//
-// The Designer type implements the Sec. 4 methodology: it walks the trees
-// in the published order, applying the footprint heuristics and constraint
-// propagation to produce a vector (and params) from a profile. The
-// GlobalManager composes per-phase atomic managers (Sec. 3.3).
 package core
 
 import "dmmkit/internal/dspace"

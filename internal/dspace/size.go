@@ -1,0 +1,14 @@
+package dspace
+
+import "sync"
+
+// spaceSize caches the number of valid design-space vectors: the count is
+// a pure function of the constraint tables, so it is enumerated once per
+// process instead of once per exploration.
+var spaceSize = sync.OnceValue(func() int {
+	return Enumerate(func(Vector) bool { return true })
+})
+
+// SpaceSize returns the number of valid decision vectors (~144k), cached
+// after the first enumeration.
+func SpaceSize() int { return spaceSize() }

@@ -1,17 +1,3 @@
-// Package dspace models the dynamic-memory-management design space of
-// Atienza et al. (DATE 2004): fifteen orthogonal decision trees grouped in
-// five categories, the interdependencies between them (Fig. 2/3 of the
-// paper), and the traversal order for reduced memory footprint (Sec. 4.2).
-//
-// Any combination of one leaf per tree is a candidate DM manager; the
-// constraint rules reject incoherent combinations exactly as the paper's
-// full-arrow interdependencies do. The package also enumerates the valid
-// region of the space for exhaustive exploration.
-//
-// Figure 1 of the paper (the tree diagram) is not machine-readable in the
-// available text; leaf sets are reconstructed from the prose, the Sec. 5
-// walkthrough, and Wilson et al.'s survey the paper builds on. See
-// DESIGN.md §4 for the mapping.
 package dspace
 
 import "fmt"

@@ -1,0 +1,17 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 5): the maximum-memory-footprint comparison (Table 1),
+// the footprint-over-time curves for DRR (Figure 5), the execution-time
+// overhead claim, the decision-order ablation (Figure 4), and the
+// static-vs-dynamic sizing motivation from Sec. 1.
+//
+// Managers and workloads are resolved through the registry (every cell of
+// Table 1 is one registry lookup), and the drivers fan independent cells
+// out over a worker pool — each cell replays against a private simulated
+// heap, so workload×seed cells parallelize embarrassingly while the
+// reduction stays deterministic.
+//
+// Absolute bytes differ from the paper — the workloads are synthetic
+// reconstructions — but the shape (ordering of managers, rough improvement
+// factors, crossovers) is the reproduction target; EXPERIMENTS.md records
+// paper-vs-measured values side by side.
+package experiments

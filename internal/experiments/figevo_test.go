@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestEvoQuickDRRAcceptance pins the fig-evo claim on the quick DRR
+// workload: the seeded GA reaches a best footprint within 5% of the
+// exhaustive sample's best while evaluating at most 25% of the candidates
+// the exhaustive strategy explores. Both runs are deterministic, so this
+// is a regression gate, not a statistical test.
+func TestEvoQuickDRRAcceptance(t *testing.T) {
+	row, err := evoRow(context.Background(), Config{Quick: true}, 1, WorkloadDRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ExhaustiveBest <= 0 || row.GABest <= 0 {
+		t.Fatalf("degenerate bests: exhaustive %d, GA %d", row.ExhaustiveBest, row.GABest)
+	}
+	if ratio := row.GABestRatio(); ratio > 1.05 {
+		t.Errorf("GA best %d is %.1f%% above exhaustive best %d (want <= 5%%)",
+			row.GABest, 100*(ratio-1), row.ExhaustiveBest)
+	}
+	if frac := row.EvalFraction(); frac > 0.25 {
+		t.Errorf("GA evaluated %d of %d exhaustive candidates (%.0f%%, want <= 25%%)",
+			row.GAEvals, row.ExhaustiveEvals, 100*frac)
+	}
+	if row.GAEvals <= 0 {
+		t.Error("GA evaluated nothing")
+	}
+}
+
+// TestWriteEvoRenders smoke-tests the renderer against a synthetic result
+// (no replays, so it stays fast).
+func TestWriteEvoRenders(t *testing.T) {
+	r := &EvoResult{
+		Seed: 1,
+		Rows: []EvoRow{
+			{Workload: WorkloadDRR, SpaceSize: 144480, ExhaustiveBest: 112768, ExhaustiveEvals: 256, GABest: 112768, GAEvals: 64, DesignedBest: 112768},
+			{Workload: WorkloadRender, SpaceSize: 144480, ExhaustiveBest: 1078280, ExhaustiveEvals: 256, GABest: 1078280, GAEvals: 60, DesignedBest: 1078280},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteEvo(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drr", "render3d", "112768", "GA/exh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

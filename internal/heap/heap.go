@@ -1,22 +1,3 @@
-// Package heap provides a simulated byte-addressable heap for dynamic
-// memory managers.
-//
-// Go's runtime is garbage collected, so a manual allocator cannot manage
-// real process memory the way the C allocators studied by Atienza et al.
-// (DATE 2004) do. Instead, every manager in this repository operates on a
-// Heap: a growable arena with an sbrk-style program break plus mmap-like
-// side segments. Allocator metadata (block headers, footers, free-list
-// links) is stored in-band inside the arena, exactly as a C allocator
-// stores it in process memory, so per-block overhead, fragmentation and
-// footprint measurements are byte-accurate.
-//
-// Addresses are 32-bit offsets (type Addr), matching the 32-bit embedded
-// targets the paper considers; in-band pointer fields therefore cost four
-// bytes. Address 0 is reserved as the nil address.
-//
-// The Heap tracks the high-water mark of memory requested from the
-// "system" (break high-water plus mapped-segment high-water). This is the
-// paper's figure of merit: maximum memory footprint.
 package heap
 
 import (

@@ -1,0 +1,7 @@
+// Package img provides synthetic grayscale images and a corner detector
+// for the 3D-reconstruction workload. The paper's second case study
+// processes 640x480 video frames whose feature counts are unpredictable at
+// compile time; this package generates procedural frames with a
+// seed-controlled amount of texture so the detected corner population
+// varies the same way.
+package img

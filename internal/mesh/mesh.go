@@ -1,10 +1,3 @@
-// Package mesh implements scalable (progressive) triangle meshes in the
-// style of Hoppe's progressive meshes / the "Level of Detail for 3D
-// Graphics" techniques the paper's third case study builds on: a coarse
-// base mesh plus an ordered sequence of vertex-split refinements. A
-// renderer picks the level of detail (LOD) per object from the viewer
-// distance and materializes or releases refinement records dynamically —
-// the DM behaviour of the 3D scalable rendering application.
 package mesh
 
 import (

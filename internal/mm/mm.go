@@ -1,12 +1,3 @@
-// Package mm defines the interface shared by every dynamic memory manager
-// in this repository, together with the statistics and the
-// architecture-neutral cost model used to compare managers.
-//
-// Managers allocate from a simulated heap (internal/heap); the application
-// side (trace replay, workloads) addresses blocks by heap.Addr. The package
-// corresponds to the contract a DM manager offers an embedded OS in the
-// paper's setting: malloc/free plus observability hooks for footprint and
-// execution-time estimation.
 package mm
 
 import (

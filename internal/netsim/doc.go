@@ -1,0 +1,19 @@
+// Package netsim generates synthetic internet traffic with the
+// characteristics of the Internet Traffic Archive traces the paper feeds
+// to DRR ("10 real traces of internet network traffic up to 10 Mbit/sec").
+//
+// The real archive is unavailable offline, so the generator reproduces
+// the properties that matter to a dynamic memory manager:
+//
+//   - the empirical packet-size mixture of wide-area traffic (40-byte
+//     ACKs, 552/576-byte TCP segments, 1500-byte MTU-size packets, plus a
+//     spread of intermediate sizes),
+//   - bursty ON/OFF arrivals (backlogs form during bursts, which is what
+//     makes DRR queue memory dynamic), and
+//   - traffic-mix drift over time (phases dominated by different size
+//     modes, which punishes allocators that keep segregated per-size
+//     free lists forever).
+//
+// Generation is deterministic per seed; the experiment harness averages
+// over ten seeds as the paper averages over ten traces.
+package netsim

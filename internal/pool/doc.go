@@ -1,0 +1,8 @@
+// Package pool provides the tiny indexed worker pool behind the parallel
+// engine: candidate evaluation and experiment cells are embarrassingly
+// parallel (every job owns a private simulated heap), so all the engine
+// needs is "run fn(i) for i in [0,n) on p workers, stop early on error or
+// cancellation". Results are returned by writing into caller-owned slices
+// at index i, which keeps output ordering deterministic regardless of
+// scheduling.
+package pool

@@ -1,0 +1,6 @@
+// Package profile analyzes the dynamic-memory behaviour of an application
+// trace: block-size populations, lifetimes, per-phase behaviour, LIFO-ness
+// and size variability. The Designer (internal/core) consumes these
+// numbers to take the decisions the paper's methodology leaves to
+// profiling ("we first profile its DM behaviour", Sec. 5).
+package profile

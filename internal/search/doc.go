@@ -1,0 +1,45 @@
+// Package search provides pluggable design-space search strategies for
+// the exploration engine.
+//
+// The valid design space of Atienza et al. (DATE 2004) holds ~144k
+// decision vectors (see dmmkit/internal/dspace). Evaluating one vector
+// means replaying a whole allocation trace against the manager it
+// describes, so the interesting question is not "can we enumerate the
+// space" but "which vectors are worth evaluating". A Strategy answers
+// that question one generation at a time: Next proposes a batch of
+// vectors, the engine evaluates them in parallel (each against a private
+// simulated heap), and Observe feeds the measured fitness back in
+// proposal order before the next batch is proposed.
+//
+// Two strategies are provided:
+//
+//   - Exhaustive is the non-adaptive baseline: a single generation
+//     holding a uniform ceiling-stride sample of the valid space in
+//     enumeration order. It is the policy the engine uses when no
+//     strategy is supplied, and its output needs no seed to reproduce.
+//
+//   - GA is a deterministic seeded genetic algorithm in the spirit of the
+//     follow-up work on evolutionary DMM optimization (grammatical
+//     evolution and parallel evolutionary algorithms over the same
+//     design space): tournament selection, per-tree uniform crossover,
+//     per-tree mutation, constraint repair, elitism, deduplication
+//     against every vector already evaluated, and a convergence stop
+//     after a configurable number of stale generations. It typically
+//     reaches the exhaustive sample's best footprint while evaluating a
+//     small fraction of the candidates.
+//
+// Genomes are dspace.Vector values. Crossover and mutation recombine
+// leaves freely, which routinely breaks the design-space
+// interdependencies; Repair projects any genome back onto the nearest
+// valid vector by walking the trees in the paper's traversal order with
+// constraint propagation and backtracking. Fixed pins chosen trees to
+// chosen leaves, restricting a strategy to a subspace — small enough
+// subspaces can be enumerated outright, which is how the tests hold the
+// GA against an exhaustive oracle.
+//
+// Determinism contract: a Strategy owns all of its randomness, and the
+// engine serializes Next/Observe around parallel evaluation barriers.
+// Identical seed and configuration therefore reproduce the identical
+// proposal sequence — and identical exploration results — at every
+// evaluation parallelism level.
+package search

@@ -1,0 +1,39 @@
+package search
+
+import "dmmkit/internal/dspace"
+
+// Exhaustive is the original exploration policy behind the Strategy
+// interface: one generation holding a uniform ceiling-stride sample of at
+// most Max valid vectors, in enumeration order. It learns nothing from
+// results — Observe is a no-op — so its proposals depend only on the
+// constraint tables, which is what makes the classic Explore output
+// reproducible without a seed.
+type Exhaustive struct {
+	// Max caps the sample size (default 128, matching ExploreOpts).
+	Max int
+	// Fix restricts sampling to a pinned subspace (nil = whole space).
+	Fix Fixed
+
+	proposed bool
+}
+
+// NewExhaustive returns an exhaustive stride sampler proposing at most max
+// vectors (max <= 0 selects the default of 128).
+func NewExhaustive(max int) *Exhaustive { return &Exhaustive{Max: max} }
+
+// Next proposes the whole sample on the first call and ends the
+// exploration on the second.
+func (e *Exhaustive) Next() []dspace.Vector {
+	if e.proposed {
+		return nil
+	}
+	e.proposed = true
+	max := e.Max
+	if max <= 0 {
+		max = 128
+	}
+	return Sample(max, e.Fix)
+}
+
+// Observe discards the results: exhaustive sampling is non-adaptive.
+func (e *Exhaustive) Observe([]Result) {}

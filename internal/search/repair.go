@@ -1,0 +1,68 @@
+package search
+
+import (
+	"sort"
+
+	"dmmkit/internal/dspace"
+)
+
+// Repair maps an arbitrary genome onto the nearest valid decision vector.
+// Crossover and mutation freely recombine leaves, so a child routinely
+// violates the design-space interdependencies (a split schedule without a
+// splitting mechanism, size classes without pool division, ...). Repair
+// walks the trees in the paper's traversal order with constraint
+// propagation, preferring at every tree the desired leaf and then the
+// leaves closest to it, backtracking when a prefix admits no valid
+// completion. The result is deterministic in (desired, fix): no randomness
+// is consumed, which keeps GA runs reproducible.
+//
+// Pinned trees in fix always take their pinned leaf. ok is false only when
+// the pinned subspace is empty.
+func Repair(desired dspace.Vector, fix Fixed) (repaired dspace.Vector, ok bool) {
+	var v dspace.Vector
+	var d dspace.Decided
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if i == len(dspace.Order) {
+			return dspace.Validate(&v) == nil
+		}
+		t := dspace.Order[i]
+		want := desired.Get(t)
+		if l, pinned := fix[t]; pinned {
+			want = l
+		}
+		allowed := dspace.Allowed(t, v, d)
+		// Try the desired leaf first, then by distance to it; ties by leaf
+		// value so the order is total and deterministic.
+		sort.SliceStable(allowed, func(a, b int) bool {
+			da, db := dist(allowed[a], want), dist(allowed[b], want)
+			if da != db {
+				return da < db
+			}
+			return allowed[a] < allowed[b]
+		})
+		for _, l := range allowed {
+			if fl, pinned := fix[t]; pinned && l != fl {
+				continue
+			}
+			v.Set(t, l)
+			d[t] = true
+			if walk(i + 1) {
+				return true
+			}
+			d[t] = false
+		}
+		return false
+	}
+	if walk(0) {
+		return v, true
+	}
+	return dspace.Vector{}, false
+}
+
+func dist(a, b dspace.Leaf) int {
+	if a < b {
+		return int(b - a)
+	}
+	return int(a - b)
+}

@@ -1,0 +1,129 @@
+package search
+
+import "dmmkit/internal/dspace"
+
+// Result is the measured fitness of one evaluated decision vector, as fed
+// back to a Strategy. Lower footprint is better; work breaks ties (the
+// same ordering core.BestByFootprint uses). Failed marks vectors whose
+// manager could not be built or replayed — strategies must treat them as
+// maximally unfit, not skip them, so that the evaluation accounting stays
+// aligned with the proposal order.
+type Result struct {
+	Vector    dspace.Vector
+	Footprint int64
+	Work      int64
+	Failed    bool
+}
+
+// Better reports whether a is strictly fitter than b: successful beats
+// failed, then smaller footprint, then smaller work. Equal fitness is not
+// "better", so sorts using Better are stable under it.
+func Better(a, b Result) bool {
+	if a.Failed != b.Failed {
+		return !a.Failed
+	}
+	if a.Footprint != b.Footprint {
+		return a.Footprint < b.Footprint
+	}
+	return a.Work < b.Work
+}
+
+// Strategy decides which design-space vectors to evaluate next, one
+// generation at a time. The exploration engine alternates strictly between
+// the two methods:
+//
+//	for batch := s.Next(); len(batch) > 0; batch = s.Next() {
+//	    results := evaluate(batch) // in parallel, order preserved
+//	    s.Observe(results)
+//	}
+//
+// Next returns the next generation of vectors to evaluate; an empty batch
+// ends the exploration. Observe receives the results of the last proposed
+// batch, in proposal order. Strategies are not safe for concurrent use —
+// the engine serializes all calls — and all strategy state (including any
+// randomness) must be owned by the strategy itself so that a given
+// strategy value replays identically at every evaluation parallelism.
+type Strategy interface {
+	Next() []dspace.Vector
+	Observe(results []Result)
+}
+
+// Fixed pins decision trees to specific leaves, restricting a strategy to
+// the subspace where every pinned tree holds its pinned leaf. A nil or
+// empty Fixed is the whole valid space. Pinning is how tests shrink the
+// space to an exhaustively checkable oracle and how callers explore "what
+// if this decision were forced" scenarios.
+type Fixed map[dspace.Tree]dspace.Leaf
+
+// Matches reports whether v agrees with every pinned leaf.
+func (f Fixed) Matches(v dspace.Vector) bool {
+	for t := 0; t < dspace.NumTrees; t++ {
+		if l, ok := f[dspace.Tree(t)]; ok && v.Get(dspace.Tree(t)) != l {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of valid vectors in the pinned subspace. With no
+// pins it is the cached dspace.SpaceSize; otherwise it walks the valid
+// space counting matches.
+func Size(fix Fixed) int {
+	if len(fix) == 0 {
+		return dspace.SpaceSize()
+	}
+	n := 0
+	dspace.Enumerate(func(v dspace.Vector) bool {
+		if fix.Matches(v) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Sample returns a uniform ceiling-stride sample of at most max valid
+// vectors from the pinned subspace, in enumeration order. The ceiling
+// stride guarantees at most max samples: stride*max >= total, so
+// ceil(total/stride) <= max.
+func Sample(max int, fix Fixed) []dspace.Vector {
+	if max <= 0 {
+		return nil
+	}
+	if len(fix) > 0 {
+		// The subspace size isn't cached, so collect the matches in one
+		// enumeration pass and stride over the slice.
+		var matched []dspace.Vector
+		dspace.Enumerate(func(v dspace.Vector) bool {
+			if fix.Matches(v) {
+				matched = append(matched, v)
+			}
+			return true
+		})
+		total := len(matched)
+		if total == 0 {
+			return nil
+		}
+		stride := (total + max - 1) / max
+		vectors := make([]dspace.Vector, 0, (total+stride-1)/stride)
+		for i := 0; i < total; i += stride {
+			vectors = append(vectors, matched[i])
+		}
+		return vectors
+	}
+	total := dspace.SpaceSize()
+	stride := (total + max - 1) / max
+	if stride < 1 {
+		stride = 1
+	}
+	vectors := make([]dspace.Vector, 0, (total+stride-1)/stride)
+	i := 0
+	dspace.Enumerate(func(v dspace.Vector) bool {
+		if i%stride == 0 {
+			vectors = append(vectors, v)
+		}
+		i++
+		return true
+	})
+	return vectors
+}

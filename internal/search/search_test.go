@@ -1,0 +1,315 @@
+package search
+
+import (
+	"testing"
+
+	"dmmkit/internal/dspace"
+)
+
+// TestSampleStrideBounded pins the sampling contract (moved here from the
+// core package when the sampler became the Exhaustive strategy): at most
+// max vectors, and the first/last samples sit exactly where the ceiling
+// stride puts them in enumeration order.
+func TestSampleStrideBounded(t *testing.T) {
+	total := dspace.SpaceSize()
+	for _, max := range []int{1, 7, 100, 128, 1000} {
+		vs := Sample(max, nil)
+		if len(vs) > max {
+			t.Fatalf("max %d: sampled %d vectors", max, len(vs))
+		}
+		stride := (total + max - 1) / max
+		wantCount := (total + stride - 1) / stride
+		if len(vs) != wantCount {
+			t.Fatalf("max %d: sampled %d vectors, want %d", max, len(vs), wantCount)
+		}
+		var first, last dspace.Vector
+		lastIdx := (wantCount - 1) * stride
+		i := 0
+		dspace.Enumerate(func(v dspace.Vector) bool {
+			if i == 0 {
+				first = v
+			}
+			if i == lastIdx {
+				last = v
+			}
+			i++
+			return true
+		})
+		if vs[0] != first {
+			t.Errorf("max %d: first sample %v, want %v", max, vs[0], first)
+		}
+		if vs[len(vs)-1] != last {
+			t.Errorf("max %d: last sample (idx %d) %v, want %v", max, lastIdx, vs[len(vs)-1], last)
+		}
+	}
+}
+
+func TestExhaustiveProposesOnce(t *testing.T) {
+	e := NewExhaustive(16)
+	first := e.Next()
+	if len(first) == 0 || len(first) > 16 {
+		t.Fatalf("first batch has %d vectors", len(first))
+	}
+	for _, v := range first {
+		if err := dspace.Validate(&v); err != nil {
+			t.Fatalf("proposed invalid vector: %v", err)
+		}
+	}
+	e.Observe(make([]Result, len(first)))
+	if second := e.Next(); len(second) != 0 {
+		t.Fatalf("second batch has %d vectors, want 0", len(second))
+	}
+}
+
+func TestFixedSampleStaysInSubspace(t *testing.T) {
+	fix := Fixed{dspace.A2BlockSizes: dspace.OneBlockSize}
+	sub := Size(fix)
+	if sub <= 0 || sub >= dspace.SpaceSize() {
+		t.Fatalf("subspace size %d not a strict subset of %d", sub, dspace.SpaceSize())
+	}
+	for _, v := range Sample(64, fix) {
+		if !fix.Matches(v) {
+			t.Fatalf("sampled vector %v escapes the pinned subspace", v)
+		}
+		if err := dspace.Validate(&v); err != nil {
+			t.Fatalf("sampled invalid vector: %v", err)
+		}
+	}
+}
+
+// TestRepairProducesValidVectors throws structured garbage at Repair and
+// checks every output is a valid vector; genomes that are already valid
+// must come back unchanged.
+func TestRepairProducesValidVectors(t *testing.T) {
+	// Every leaf combination of a few high-interaction trees, rest zero.
+	var garbage []dspace.Vector
+	for a5 := 0; a5 < dspace.LeafCount(dspace.A5FlexBlockSize); a5++ {
+		for e2 := 0; e2 < dspace.LeafCount(dspace.E2SplitWhen); e2++ {
+			for b4 := 0; b4 < dspace.LeafCount(dspace.B4PoolRange); b4++ {
+				var v dspace.Vector
+				v.Flex = dspace.Leaf(a5)
+				v.SplitWhen = dspace.Leaf(e2)
+				v.PoolRange = dspace.Leaf(b4)
+				garbage = append(garbage, v)
+			}
+		}
+	}
+	for _, v := range garbage {
+		got, ok := Repair(v, nil)
+		if !ok {
+			t.Fatalf("Repair(%v) failed", v)
+		}
+		if err := dspace.Validate(&got); err != nil {
+			t.Fatalf("Repair(%v) = %v, still invalid: %v", v, got, err)
+		}
+	}
+	// A valid genome is its own repair.
+	valid := Sample(8, nil)
+	for _, v := range valid {
+		got, ok := Repair(v, nil)
+		if !ok || got != v {
+			t.Fatalf("Repair changed valid vector %v to %v (ok=%v)", v, got, ok)
+		}
+	}
+}
+
+func TestRepairHonorsPins(t *testing.T) {
+	fix := Fixed{
+		dspace.A2BlockSizes: dspace.OneBlockSize,
+		dspace.C1Fit:        dspace.ExactFit,
+	}
+	var worst dspace.Vector
+	for i := 0; i < dspace.NumTrees; i++ {
+		t := dspace.Tree(i)
+		worst.Set(t, dspace.Leaf(dspace.LeafCount(t)-1))
+	}
+	got, ok := Repair(worst, fix)
+	if !ok {
+		t.Fatal("Repair with pins failed")
+	}
+	if !fix.Matches(got) {
+		t.Fatalf("repair %v ignores pins", got)
+	}
+	if err := dspace.Validate(&got); err != nil {
+		t.Fatalf("pinned repair invalid: %v", err)
+	}
+}
+
+// fakeFitness scores vectors without any replay: a stable arbitrary
+// function with a unique global minimum so GA unit tests run instantly.
+func fakeFitness(v dspace.Vector) Result {
+	score := int64(0)
+	for i := 0; i < dspace.NumTrees; i++ {
+		score = score*7 + int64(v.Get(dspace.Tree(i)))*int64(i+1)
+	}
+	if score < 0 {
+		score = -score
+	}
+	return Result{Vector: v, Footprint: score, Work: score / 3}
+}
+
+func drive(s Strategy) (evals int, batches int) {
+	for {
+		batch := s.Next()
+		if len(batch) == 0 {
+			return evals, batches
+		}
+		batches++
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			results[i] = fakeFitness(v)
+		}
+		evals += len(batch)
+		s.Observe(results)
+	}
+}
+
+// TestGAProposalsUniqueAndValid drives the GA against a synthetic fitness
+// function and checks every proposed vector is valid and never proposed
+// twice across the whole run (the dedup contract).
+func TestGAProposalsUniqueAndValid(t *testing.T) {
+	g := NewGA(42, GAConfig{Population: 12, Generations: 10})
+	seen := make(map[dspace.Vector]bool)
+	for {
+		batch := g.Next()
+		if len(batch) == 0 {
+			break
+		}
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			if seen[v] {
+				t.Fatalf("vector %v proposed twice", v)
+			}
+			seen[v] = true
+			if err := dspace.Validate(&v); err != nil {
+				t.Fatalf("GA proposed invalid vector: %v", err)
+			}
+			results[i] = fakeFitness(v)
+		}
+		g.Observe(results)
+	}
+	if g.Evaluations() != len(seen) {
+		t.Errorf("Evaluations() = %d, want %d", g.Evaluations(), len(seen))
+	}
+	if _, ok := g.Best(); !ok {
+		t.Error("no best after a full run")
+	}
+}
+
+// TestGASameSeedSameProposals replays two GAs with the same seed and
+// checks the full proposal sequence is identical; a different seed must
+// diverge (otherwise the seed is not actually consumed).
+func TestGASameSeedSameProposals(t *testing.T) {
+	runSeq := func(seed int64) [][]dspace.Vector {
+		g := NewGA(seed, GAConfig{Population: 10, Generations: 6})
+		var seq [][]dspace.Vector
+		for {
+			batch := g.Next()
+			if len(batch) == 0 {
+				return seq
+			}
+			seq = append(seq, append([]dspace.Vector(nil), batch...))
+			results := make([]Result, len(batch))
+			for i, v := range batch {
+				results[i] = fakeFitness(v)
+			}
+			g.Observe(results)
+		}
+	}
+	a, b := runSeq(7), runSeq(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed: %d vs %d generations", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("generation %d: %d vs %d proposals", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("generation %d proposal %d differs", i, j)
+			}
+		}
+	}
+	c := runSeq(8)
+	diverged := len(c) != len(a)
+	for i := 0; !diverged && i < len(a); i++ {
+		if len(a[i]) != len(c[i]) {
+			diverged = true
+			break
+		}
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Error("seeds 7 and 8 produced identical proposal sequences")
+	}
+}
+
+// TestGAConvergenceStops pins the convergence stop: with Patience 2 and a
+// constant fitness function nothing ever improves after the seed
+// generation, so the run must end after at most 1+2 scored generations.
+func TestGAConvergenceStops(t *testing.T) {
+	g := NewGA(1, GAConfig{Population: 8, Generations: 50, Patience: 2})
+	gens := 0
+	for {
+		batch := g.Next()
+		if len(batch) == 0 {
+			break
+		}
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			results[i] = Result{Vector: v, Footprint: 1000, Work: 10}
+		}
+		g.Observe(results)
+		gens++
+		if gens > 10 {
+			t.Fatal("GA did not converge")
+		}
+	}
+	if g.Generation() > 3 {
+		t.Errorf("scored %d generations, want <= 3 (seed + 2 stale)", g.Generation())
+	}
+}
+
+// TestGAFindsSubspaceOptimum holds the GA against an exhaustive oracle on
+// a pinned subspace small enough to enumerate outright, using the
+// synthetic fitness function.
+func TestGAFindsSubspaceOptimum(t *testing.T) {
+	fix := Fixed{
+		dspace.A2BlockSizes: dspace.OneBlockSize, // forces no flex, no split/coalesce
+		dspace.C1Fit:        dspace.FirstFit,
+	}
+	var oracle Result
+	n := 0
+	dspace.Enumerate(func(v dspace.Vector) bool {
+		if !fix.Matches(v) {
+			return true
+		}
+		r := fakeFitness(v)
+		if n == 0 || Better(r, oracle) {
+			oracle = r
+		}
+		n++
+		return true
+	})
+	if n == 0 || n > 5000 {
+		t.Fatalf("pinned subspace has %d vectors; want a small non-empty oracle", n)
+	}
+	g := NewGA(3, GAConfig{Population: 16, Generations: 30, Patience: 6, Fix: fix})
+	evals, _ := drive(g)
+	best, ok := g.Best()
+	if !ok {
+		t.Fatal("GA found nothing")
+	}
+	if best.Footprint != oracle.Footprint {
+		t.Errorf("GA best %d, oracle best %d (subspace %d vectors, GA evaluated %d)",
+			best.Footprint, oracle.Footprint, n, evals)
+	}
+	if evals > n {
+		t.Errorf("GA evaluated %d vectors in a subspace of %d (dedup broken)", evals, n)
+	}
+}

@@ -1,0 +1,4 @@
+// Package textplot renders small ASCII line charts and bar tables for the
+// command-line experiment reports (Figure 5 of the paper is reproduced as
+// a footprint-over-time chart).
+package textplot

@@ -1,0 +1,89 @@
+// Command checkdocs fails when any Go package in the module lacks
+// package-level documentation. It is the CI docs gate: every package —
+// internal layers, commands, examples — must carry a doc comment on its
+// package clause so `go doc` explains the layer without reading the
+// paper.
+//
+// Usage (from the module root):
+//
+//	go run ./internal/tools/checkdocs
+//
+// A package passes when at least one of its non-test files has a comment
+// immediately above the package clause. Undocumented packages are listed
+// one per line and the command exits non-zero.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	// dir -> has any non-test .go file / has a documented one.
+	type state struct{ hasGo, documented bool }
+	dirs := map[string]*state{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		st := dirs[dir]
+		if st == nil {
+			st = &state{}
+			dirs[dir] = st
+		}
+		st.hasGo = true
+		if st.documented {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", path, perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			st.documented = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+		os.Exit(2)
+	}
+
+	var bad []string
+	for dir, st := range dirs {
+		if st.hasGo && !st.documented {
+			bad = append(bad, dir)
+		}
+	}
+	sort.Strings(bad)
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "checkdocs: %d package(s) without package-level documentation:\n", len(bad))
+		for _, dir := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkdocs: %d packages documented\n", len(dirs))
+}

@@ -1,0 +1,10 @@
+// Package trace defines allocation traces — the interface between the
+// dynamic applications and the DM managers — together with binary/JSON
+// codecs and a replay engine.
+//
+// The paper's methodology starts by profiling an application's dynamic
+// memory behaviour; here workloads emit traces, profiles are computed from
+// traces (internal/profile), and the same trace replays against every
+// manager so comparisons are exact (the paper averages 10 input traces per
+// case study; the experiment harness does the same with 10 seeds).
+package trace

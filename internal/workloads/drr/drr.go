@@ -1,16 +1,3 @@
-// Package drr implements the Deficit Round Robin fair scheduler of
-// Shreedhar & Varghese (SIGCOMM'95) — the paper's first case study, taken
-// there from the NetBench suite — and derives its dynamic-memory trace.
-//
-// DRR keeps one FIFO queue per flow. Each service round adds a quantum to
-// a queue's deficit counter and dequeues packets while the head packet
-// fits in the deficit. Packet buffers are allocated on arrival and freed
-// when the packet is forwarded, so queue memory follows the offered load:
-// bursty, highly size-variable traffic makes the DM behaviour that
-// motivates the paper ("it requires the use of DM because the real input
-// can vary enormously depending on the network traffic").
-//
-// Allocation tags: 0 = packet payload buffer, 1 = queue descriptor node.
 package drr
 
 import (

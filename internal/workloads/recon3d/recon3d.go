@@ -1,19 +1,3 @@
-// Package recon3d reproduces the dynamic-memory behaviour of the paper's
-// second case study: the corner-matching sub-algorithm of a metric 3D
-// reconstruction pipeline (Pollefeys et al.; Target Jr implementation).
-// The relative displacement of features between consecutive frames feeds
-// the depth reconstruction; the memory-intensive part is the per-frame
-// corner sets, the per-corner candidate match lists, and the growing cloud
-// of reconstructed 3D points.
-//
-// The original pipeline is 1.75 MLoC of C++; what the DM manager sees is
-// reproduced here faithfully: two ~300 KB frame buffers live at a time,
-// thousands of small corner/candidate/match records with unpredictable
-// counts (they depend on image content), heavy churn of candidate lists,
-// and a point cloud that survives across frame pairs.
-//
-// Allocation tags: 0 = frame buffer, 1 = corner record, 2 = match
-// candidate, 3 = 3D point.
 package recon3d
 
 import (

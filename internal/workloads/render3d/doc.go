@@ -1,0 +1,26 @@
+// Package render3d reproduces the paper's third case study: a 3D video
+// rendering system based on scalable meshes, where the quality (level of
+// detail) of each object adapts to the position of the viewer under a QoS
+// budget, as in interactive QoS frameworks for 3D applications.
+//
+// The DM behaviour has three phases, matching the paper's discussion of
+// Obstacks:
+//
+//   - Phase 0 (scene load): base meshes are loaded into per-object vertex
+//     and face arrays — allocations only, purely stack-like.
+//   - Phase 1 (approach): objects refine toward the viewer in per-object
+//     bursts, materializing vertex/face records; per-frame render scratch
+//     buffers are freed LIFO at frame end. Obstack heaven.
+//   - Phase 2 (departure/QoS reshuffle): half the objects leave the view
+//     and shed their refinement records in screen-space (shuffled,
+//     non-LIFO) order, while the remaining objects gain high-detail
+//     textured records of different sizes. Allocators that reuse the
+//     released memory stay near the live volume; an obstack cannot
+//     reclaim out-of-order frees and keeps growing — "Obstacks cannot
+//     exploit its stack-like optimizations in the final phases of the
+//     rendering process" (Sec. 5). Power-of-two class allocators cannot
+//     recycle the old classes for the new record sizes either.
+//
+// Allocation tags: 0 = vertex record, 1 = face record, 2 = frame scratch,
+// 3 = base-mesh array, 4 = detail (textured) record.
+package render3d

@@ -1,0 +1,42 @@
+package dmmkit
+
+import "dmmkit/internal/search"
+
+// Search-strategy types. A strategy decides which design-space vectors the
+// engine evaluates next, one generation at a time; the engine evaluates
+// each generation in parallel and feeds the measured results back before
+// the next generation is proposed, so adaptive strategies stay
+// deterministic at every parallelism level.
+type (
+	// SearchStrategy proposes generations of vectors (Next) and learns
+	// from their evaluations (Observe). Set it on ExploreOpts.Strategy;
+	// strategies carry state, so use a fresh value per exploration.
+	SearchStrategy = search.Strategy
+	// SearchResult is the evaluated fitness fed back to a strategy.
+	SearchResult = search.Result
+	// GASearchConfig tunes the genetic search (population, generations,
+	// elitism, tournament size, crossover/mutation rates, patience,
+	// pinned subspace). The zero value selects the documented defaults.
+	GASearchConfig = search.GAConfig
+	// FixedLeaves pins decision trees to specific leaves, restricting a
+	// strategy to a subspace.
+	FixedLeaves = search.Fixed
+)
+
+// NewGASearch returns a deterministic seeded genetic search strategy:
+// tournament selection, per-tree crossover and mutation repaired against
+// the design-space constraints, elitism, deduplication of already
+// evaluated vectors, and a convergence stop after cfg.Patience stale
+// generations.
+//
+// Reproducibility contract: identical seed and config produce the
+// identical candidate stream — and the identical best vector — at every
+// ExploreOpts.Parallelism, because the engine only advances the strategy
+// between generation barriers.
+func NewGASearch(seed int64, cfg GASearchConfig) SearchStrategy { return search.NewGA(seed, cfg) }
+
+// NewExhaustiveSearch returns the non-adaptive baseline strategy: a
+// single generation holding a uniform ceiling-stride sample of at most
+// max valid vectors in enumeration order (max <= 0 selects 128). It is
+// what Explore uses when ExploreOpts.Strategy is nil.
+func NewExhaustiveSearch(max int) SearchStrategy { return search.NewExhaustive(max) }
