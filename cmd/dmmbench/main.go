@@ -16,6 +16,7 @@
 //	dmmbench -exp order
 //	dmmbench -exp static
 //	dmmbench -exp evo               # fig-evo: GA vs exhaustive search
+//	dmmbench -exp pareto            # fig-pareto: NSGA front vs exhaustive subspace front
 //	dmmbench -exp all -seeds 10
 //	dmmbench -exp bench -json BENCH_table1.json   # machine-readable perf baseline
 package main
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, evo, fits, bench, all")
+		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, evo, pareto, fits, bench, all")
 		seeds    = flag.Int("seeds", 10, "traces per case study (the paper averages 10)")
 		quick    = flag.Bool("quick", false, "smaller workloads (for smoke runs)")
 		parallel = flag.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -112,6 +113,13 @@ func main() {
 			return err
 		}
 		return experiments.WriteEvo(os.Stdout, er)
+	})
+	run("pareto", func() error {
+		pr, err := experiments.RunPareto(ctx, cfg, *seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WritePareto(os.Stdout, pr)
 	})
 	run("fits", func() error {
 		frs, err := experiments.RunFitAblation(ctx, cfg)

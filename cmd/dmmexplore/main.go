@@ -4,13 +4,21 @@
 // front, and shows where the methodology's one-walk design lands relative
 // to search.
 //
-// Two search strategies are available. -strategy exhaustive (the default)
-// evaluates a uniform stride sample of at most -candidates vectors;
-// -strategy ga runs a deterministic seeded genetic algorithm (tournament
-// selection, constraint-repaired crossover and mutation, elitism) that
-// typically matches the exhaustive best while evaluating a fraction of
-// the candidates. -seed seeds both the workload generator and the GA, so
-// a run is reproduced exactly by its command line at any -parallel.
+// Three search strategies are available. -strategy exhaustive (the
+// default) evaluates a uniform stride sample of at most -candidates
+// vectors; -strategy ga runs a deterministic seeded genetic algorithm
+// (tournament selection, constraint-repaired crossover and mutation,
+// elitism) that typically matches the exhaustive best while evaluating a
+// fraction of the candidates; -strategy nsga runs the NSGA-II-style
+// multi-objective variant that searches for the whole footprint×work
+// Pareto front rather than the single best footprint. -seed seeds both
+// the workload generator and the genetic strategies, so a run is
+// reproduced exactly by its command line at any -parallel.
+//
+// -objectives selects the optimization axes: "footprint" (the classic
+// scalar mode) or "footprint,work" (Pareto mode, the default for
+// -strategy nsga), in which the exploration reports the front as a table
+// and an ASCII scatter plot.
 //
 // Candidates are evaluated concurrently on -parallel workers (every
 // candidate owns a private simulated heap), with results identical to a
@@ -20,6 +28,7 @@
 //
 //	dmmexplore -workload drr -candidates 96
 //	dmmexplore -workload drr -strategy ga -population 24 -generations 20
+//	dmmexplore -workload drr -strategy nsga -objectives footprint,work
 //	dmmexplore -workload render3d -parallel 8
 //	dmmexplore drr1.trace
 package main
@@ -34,27 +43,116 @@ import (
 	"text/tabwriter"
 
 	"dmmkit"
+	"dmmkit/internal/textplot"
 )
+
+// validStrategies lists the accepted -strategy values, in help order.
+var validStrategies = []string{"exhaustive", "ga", "nsga"}
+
+// resolveMode validates the -strategy and -objectives flags together and
+// returns the parsed objectives plus whether the run is multi-objective.
+// It is called before any workload is built, so a bad flag fails fast
+// with a usage error instead of after seconds of trace generation.
+//
+// An empty objectives string means "the strategy's natural default":
+// footprint alone for exhaustive and ga, footprint+work for nsga. The
+// nsga strategy requires Pareto mode — it has no scalar fitness to
+// optimize footprint alone.
+func resolveMode(strategy, objectives string) (objs []dmmkit.Objective, multi bool, err error) {
+	valid := false
+	for _, s := range validStrategies {
+		if strategy == s {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return nil, false, fmt.Errorf("unknown -strategy %q (valid: %s)", strategy, strings.Join(validStrategies, ", "))
+	}
+	if objectives == "" && strategy == "nsga" {
+		objectives = "footprint,work"
+	}
+	objs, err = dmmkit.ParseObjectives(objectives)
+	if err != nil {
+		return nil, false, fmt.Errorf("bad -objectives: %v (valid: footprint or footprint,work)", err)
+	}
+	hasWork, hasFootprint := false, false
+	for _, o := range objs {
+		switch o {
+		case dmmkit.ObjectiveWork:
+			hasWork = true
+		case dmmkit.ObjectiveFootprint:
+			hasFootprint = true
+		}
+	}
+	if hasWork && !hasFootprint {
+		return nil, false, fmt.Errorf("bad -objectives %q: work alone is not supported (valid: footprint or footprint,work)", objectives)
+	}
+	if strategy == "nsga" && !hasWork {
+		return nil, false, fmt.Errorf("-strategy nsga is multi-objective; use -objectives footprint,work")
+	}
+	return objs, hasWork, nil
+}
+
+// frontPlot renders the footprint×work front as an ASCII scatter, with
+// every evaluated candidate as background context and the methodology's
+// design as its own marker when it replayed successfully.
+func frontPlot(cands, front []dmmkit.Candidate) string {
+	var all, fr, designed textplot.Series
+	all.Name = "evaluated candidate"
+	fr.Name = "Pareto front"
+	designed.Name = "methodology design"
+	for _, c := range cands {
+		if c.Err != nil {
+			continue
+		}
+		if c.Designed {
+			designed.X = append(designed.X, float64(c.MaxFootprint))
+			designed.Y = append(designed.Y, float64(c.Work))
+			continue
+		}
+		all.X = append(all.X, float64(c.MaxFootprint))
+		all.Y = append(all.Y, float64(c.Work))
+	}
+	for _, c := range front {
+		fr.X = append(fr.X, float64(c.MaxFootprint))
+		fr.Y = append(fr.Y, float64(c.Work))
+	}
+	series := []textplot.Series{all, fr}
+	if len(designed.X) > 0 {
+		series = append(series, designed)
+	}
+	return textplot.Plot(72, 16, series...)
+}
 
 func main() {
 	var (
 		workload    = flag.String("workload", "", "generate and explore a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
-		seed        = flag.Int64("seed", 1, "seed for the workload generator and the GA (identical seed = identical run)")
-		strategy    = flag.String("strategy", "exhaustive", "search strategy: exhaustive or ga")
-		candidates  = flag.Int("candidates", 96, "evaluation budget: stride-sample size (exhaustive) or max evaluations (ga)")
-		population  = flag.Int("population", 24, "GA individuals per generation")
-		generations = flag.Int("generations", 20, "GA generation cap (stops earlier on convergence)")
+		seed        = flag.Int64("seed", 1, "seed for the workload generator and the genetic strategies (identical seed = identical run)")
+		strategy    = flag.String("strategy", "exhaustive", "search strategy: "+strings.Join(validStrategies, ", "))
+		objectives  = flag.String("objectives", "", "optimization axes: footprint or footprint,work (default: footprint; footprint,work for nsga)")
+		candidates  = flag.Int("candidates", 96, "evaluation budget: stride-sample size (exhaustive) or max evaluations (ga, nsga)")
+		population  = flag.Int("population", 24, "GA/NSGA individuals per generation")
+		generations = flag.Int("generations", 20, "GA/NSGA generation cap (stops earlier on convergence)")
 		quick       = flag.Bool("quick", true, "use a reduced workload (exploration replays every candidate)")
 		parallel    = flag.Int("parallel", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
 		progress    = flag.Bool("progress", true, "report evaluation progress on stderr")
+		plot        = flag.Bool("plot", true, "render an ASCII footprint-vs-work plot in Pareto mode")
 	)
 	flag.Parse()
+
+	// Validate the search flags before the (potentially slow) workload
+	// build, so a typo fails instantly with a usage error.
+	objs, multi, err := resolveMode(*strategy, *objectives)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	var tr *dmmkit.Trace
-	var err error
 	switch {
 	case *workload != "":
 		tr, err = dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick})
@@ -77,22 +175,29 @@ func main() {
 		MaxCandidates:   *candidates,
 		IncludeDesigned: true,
 		Parallelism:     *parallel,
+		Objectives:      objs,
 	}
+	traceLine := fmt.Sprintf("%q (%d events, live peak %d B)", tr.Name, len(tr.Events), tr.MaxLiveBytes())
 	switch *strategy {
 	case "exhaustive":
-		fmt.Printf("exploring up to %d of %d candidates against %q (%d events, live peak %d B)...\n\n",
-			*candidates, dmmkit.SpaceSize(), tr.Name, len(tr.Events), tr.MaxLiveBytes())
+		fmt.Printf("exploring up to %d of %d candidates against %s...\n\n",
+			*candidates, dmmkit.SpaceSize(), traceLine)
 	case "ga":
 		opts.Strategy = dmmkit.NewGASearch(*seed, dmmkit.GASearchConfig{
 			Population:     *population,
 			Generations:    *generations,
 			MaxEvaluations: *candidates,
 		})
-		fmt.Printf("genetic search (seed %d, population %d, <= %d generations, <= %d evaluations) over %d valid vectors against %q (%d events, live peak %d B)...\n\n",
-			*seed, *population, *generations, *candidates, dmmkit.SpaceSize(), tr.Name, len(tr.Events), tr.MaxLiveBytes())
-	default:
-		fmt.Fprintf(os.Stderr, "dmmexplore: unknown -strategy %q (want exhaustive or ga)\n", *strategy)
-		os.Exit(2)
+		fmt.Printf("genetic search (seed %d, population %d, <= %d generations, <= %d evaluations) over %d valid vectors against %s...\n\n",
+			*seed, *population, *generations, *candidates, dmmkit.SpaceSize(), traceLine)
+	case "nsga":
+		opts.Strategy = dmmkit.NewNSGASearch(*seed, dmmkit.GASearchConfig{
+			Population:     *population,
+			Generations:    *generations,
+			MaxEvaluations: *candidates,
+		})
+		fmt.Printf("NSGA-II multi-objective search (seed %d, population %d, <= %d generations, <= %d evaluations) for the footprint×work front over %d valid vectors against %s...\n\n",
+			*seed, *population, *generations, *candidates, dmmkit.SpaceSize(), traceLine)
 	}
 	if *progress {
 		opts.OnProgress = func(done, total int) {
@@ -132,6 +237,11 @@ func main() {
 		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\n", c.MaxFootprint, c.Work, mark, c.Vector)
 	}
 	tw.Flush()
+
+	if multi && *plot {
+		fmt.Printf("\nfootprint (x, right = more bytes) vs work (y, up = more work):\n\n")
+		fmt.Print(frontPlot(cands, front))
+	}
 
 	if best, ok := dmmkit.BestByFootprint(cands); ok {
 		fmt.Printf("\nbest footprint: %d B (work %d)\n", best.MaxFootprint, best.Work)

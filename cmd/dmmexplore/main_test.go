@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dmmkit"
+)
+
+// TestResolveModeRejectsUnknownStrategy pins the fast-fail contract: an
+// unknown -strategy value is a usage error naming the valid options, and
+// it is detected before any workload is built.
+func TestResolveModeRejectsUnknownStrategy(t *testing.T) {
+	for _, bad := range []string{"", "GA", "genetic", "exhaustive ", "nsga2"} {
+		_, _, err := resolveMode(bad, "")
+		if err == nil {
+			t.Errorf("strategy %q accepted", bad)
+			continue
+		}
+		for _, want := range validStrategies {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("strategy %q: error %q does not list valid option %q", bad, err, want)
+			}
+		}
+	}
+}
+
+// TestResolveModeRejectsMalformedObjectives pins the same contract for
+// -objectives: unknown names, duplicates and trailing commas are usage
+// errors, and work-only runs are refused.
+func TestResolveModeRejectsMalformedObjectives(t *testing.T) {
+	for _, bad := range []string{"latency", "footprint,footprint", "footprint,", "work", ",work"} {
+		if _, _, err := resolveMode("exhaustive", bad); err == nil {
+			t.Errorf("objectives %q accepted", bad)
+		}
+	}
+	// nsga has no scalar mode.
+	if _, _, err := resolveMode("nsga", "footprint"); err == nil {
+		t.Error("nsga with footprint-only objectives accepted")
+	}
+}
+
+// TestResolveModeDefaults pins the per-strategy objective defaults: the
+// scalar strategies default to footprint only, nsga to footprint,work.
+func TestResolveModeDefaults(t *testing.T) {
+	cases := []struct {
+		strategy, objectives string
+		wantMulti            bool
+	}{
+		{"exhaustive", "", false},
+		{"ga", "", false},
+		{"nsga", "", true},
+		{"exhaustive", "footprint,work", true},
+		{"ga", "work,footprint", true},
+		{"nsga", "footprint,work", true},
+		{"exhaustive", "footprint", false},
+	}
+	for _, c := range cases {
+		objs, multi, err := resolveMode(c.strategy, c.objectives)
+		if err != nil {
+			t.Errorf("resolveMode(%q, %q): %v", c.strategy, c.objectives, err)
+			continue
+		}
+		if multi != c.wantMulti {
+			t.Errorf("resolveMode(%q, %q) multi = %v, want %v", c.strategy, c.objectives, multi, c.wantMulti)
+		}
+		if multi {
+			hasWork := false
+			for _, o := range objs {
+				if o == dmmkit.ObjectiveWork {
+					hasWork = true
+				}
+			}
+			if !hasWork {
+				t.Errorf("resolveMode(%q, %q) multi without work objective", c.strategy, c.objectives)
+			}
+		}
+	}
+}

@@ -201,12 +201,33 @@ type (
 	// Candidate is one evaluated design-space point.
 	Candidate = core.Candidate
 	// ExploreOpts configures design-space exploration: sample size,
-	// parallelism, streaming and progress callbacks.
+	// objectives, parallelism, streaming and progress callbacks.
 	ExploreOpts = core.ExploreOpts
 	// Engine fans design-space exploration out over a worker pool with
 	// deterministic, parallelism-independent results.
 	Engine = core.Engine
+	// Objective identifies one optimization axis of an exploration
+	// (footprint, work).
+	Objective = core.Objective
 )
+
+// The two measured objectives. Setting ExploreOpts.Objectives to both
+// turns on multi-objective Pareto mode: the engine maintains a
+// footprint×work Pareto front over the in-order candidate stream and
+// reports changes through ExploreOpts.OnFront.
+const (
+	// ObjectiveFootprint is the paper's primary metric: peak bytes
+	// requested from the system.
+	ObjectiveFootprint = core.ObjectiveFootprint
+	// ObjectiveWork is the architecture-neutral execution-time proxy.
+	ObjectiveWork = core.ObjectiveWork
+)
+
+// ParseObjectives parses a comma-separated objective list as accepted by
+// the CLIs: "footprint" (classic scalar mode) or "footprint,work" in
+// either order (multi-objective Pareto mode). An empty string selects
+// the default, footprint only; work alone is rejected.
+func ParseObjectives(s string) ([]Objective, error) { return core.ParseObjectives(s) }
 
 // NewEngine returns an exploration engine with the given default worker
 // count (<= 0 means GOMAXPROCS).

@@ -182,3 +182,49 @@ func ExampleNewGASearch() {
 	// same best vector at P=1 and P=8: true
 	// same footprint: true
 }
+
+// ExampleNewNSGASearch explores the design space multi-objectively: the
+// NSGA-II strategy searches for the whole footprint×work Pareto front,
+// the engine streams front updates in deterministic order, and the final
+// front is ParetoFront of the returned candidates.
+func ExampleNewNSGASearch() {
+	b := dmmkit.NewTraceBuilder("nsga-example")
+	var ids []int64
+	for i := 0; i < 200; i++ {
+		ids = append(ids, b.Alloc(int64(32+(i%5)*144), 0))
+		if len(ids) > 6 {
+			b.Free(ids[0])
+			ids = ids[1:]
+		}
+	}
+	for _, id := range ids {
+		b.Free(id)
+	}
+	tr := b.Build()
+
+	updates := 0
+	cands, err := dmmkit.Explore(context.Background(), tr, dmmkit.ExploreOpts{
+		Strategy: dmmkit.NewNSGASearch(9, dmmkit.GASearchConfig{
+			Population: 8, Generations: 4,
+		}),
+		Objectives: []dmmkit.Objective{dmmkit.ObjectiveFootprint, dmmkit.ObjectiveWork},
+		OnFront:    func([]dmmkit.Candidate) { updates++ },
+	})
+	if err != nil {
+		panic(err)
+	}
+	front := dmmkit.ParetoFront(cands)
+	fmt.Println("front is non-empty:", len(front) > 0)
+	fmt.Println("front updates streamed:", updates > 0)
+	sorted := true
+	for i := 1; i < len(front); i++ {
+		if front[i].MaxFootprint <= front[i-1].MaxFootprint || front[i].Work >= front[i-1].Work {
+			sorted = false
+		}
+	}
+	fmt.Println("front trades footprint against work:", sorted)
+	// Output:
+	// front is non-empty: true
+	// front updates streamed: true
+	// front trades footprint against work: true
+}

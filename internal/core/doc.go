@@ -17,8 +17,14 @@
 //
 // The Engine explores the design space concurrently: a search strategy
 // (internal/search) proposes vectors one generation at a time — the
-// exhaustive stride sampler or the seeded genetic algorithm — and the
-// engine evaluates each generation on a worker pool (internal/pool),
-// streaming candidates in a deterministic order that is identical at
-// every parallelism level.
+// exhaustive stride sampler, the seeded genetic algorithm, or the
+// NSGA-II multi-objective variant — and the engine evaluates each
+// generation on a worker pool (internal/pool), streaming candidates in a
+// deterministic order that is identical at every parallelism level. With
+// ExploreOpts.Objectives listing both footprint and work, the engine
+// additionally maintains a Pareto front over the in-order candidate
+// stream and reports front changes through ExploreOpts.OnFront, which is
+// how the paper's central trade-off — smaller footprint at higher
+// per-operation cost — is surfaced as a front instead of collapsed into
+// a scalar.
 package core

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -57,6 +58,13 @@ func (e *Engine) Explore(ctx context.Context, tr *trace.Trace, opts ExploreOpts)
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	multi, err := multiObjective(opts.Objectives)
+	if err != nil {
+		return nil, err
+	}
+	if opts.OnFront != nil && !multi {
+		return nil, fmt.Errorf("core: OnFront requires Objectives to list footprint and work")
+	}
 	strat := opts.Strategy
 	if strat == nil {
 		strat = search.NewExhaustive(opts.MaxCandidates)
@@ -67,6 +75,9 @@ func (e *Engine) Explore(ctx context.Context, tr *trace.Trace, opts ExploreOpts)
 
 	var out []Candidate
 	em := &emitter{opts: &opts}
+	if multi {
+		em.front = &frontAccum{}
+	}
 	if opts.IncludeDesigned {
 		em.reserved = 1
 	}
@@ -144,6 +155,7 @@ type emitter struct {
 	count    int // completions so far
 	ready    []bool
 	reserved int
+	front    *frontAccum // Pareto mode: front over the in-order stream
 	opts     *ExploreOpts
 }
 
@@ -165,6 +177,11 @@ func (em *emitter) done(i int, out []Candidate) {
 	for em.next < len(em.ready) && em.ready[em.next] {
 		if em.opts.OnCandidate != nil {
 			em.opts.OnCandidate(out[em.next])
+		}
+		// The front is fed strictly from the in-order stream, so it (and
+		// every OnFront snapshot) is identical at any parallelism.
+		if em.front != nil && em.front.add(out[em.next]) && em.opts.OnFront != nil {
+			em.opts.OnFront(em.front.snapshot())
 		}
 		em.next++
 	}

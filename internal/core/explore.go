@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"strings"
 
 	"dmmkit/internal/dspace"
 	"dmmkit/internal/heap"
@@ -19,6 +19,82 @@ type Candidate struct {
 	Work         int64
 	Designed     bool // produced by the methodology (not enumeration)
 	Err          error
+}
+
+// Objective identifies one optimization axis of an exploration.
+type Objective int
+
+// The two measured objectives of a candidate evaluation.
+const (
+	// ObjectiveFootprint is the paper's primary metric: the maximum
+	// number of bytes requested from the system during the replay.
+	ObjectiveFootprint Objective = iota
+	// ObjectiveWork is the architecture-neutral execution-time proxy
+	// accumulated by the manager during the replay.
+	ObjectiveWork
+)
+
+// String returns the objective's flag-syntax name.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveFootprint:
+		return "footprint"
+	case ObjectiveWork:
+		return "work"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// ParseObjectives parses a comma-separated objective list as accepted by
+// the CLIs: "footprint" (the classic single-objective mode) or
+// "footprint,work" in either order (multi-objective Pareto mode). An
+// empty string selects the default, footprint only.
+func ParseObjectives(s string) ([]Objective, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var objs []Objective
+	seen := map[Objective]bool{}
+	for _, name := range strings.Split(s, ",") {
+		var o Objective
+		switch strings.TrimSpace(name) {
+		case "footprint":
+			o = ObjectiveFootprint
+		case "work":
+			o = ObjectiveWork
+		default:
+			return nil, fmt.Errorf("unknown objective %q (want footprint or work)", strings.TrimSpace(name))
+		}
+		if seen[o] {
+			return nil, fmt.Errorf("objective %q listed twice", o)
+		}
+		seen[o] = true
+		objs = append(objs, o)
+	}
+	return objs, nil
+}
+
+// multiObjective reports whether the objective list selects Pareto mode,
+// validating it: nil or {footprint} is the classic scalar mode, any list
+// containing both footprint and work is Pareto mode, and work alone is
+// rejected (the scalar order already breaks footprint ties by work, so a
+// work-only exploration would silently ignore the paper's metric).
+func multiObjective(objs []Objective) (bool, error) {
+	hasFootprint, hasWork := false, false
+	for _, o := range objs {
+		switch o {
+		case ObjectiveFootprint:
+			hasFootprint = true
+		case ObjectiveWork:
+			hasWork = true
+		default:
+			return false, fmt.Errorf("core: unknown objective %v", o)
+		}
+	}
+	if hasWork && !hasFootprint {
+		return false, fmt.Errorf("core: objectives %v optimize work without footprint; use footprint,work", objs)
+	}
+	return hasFootprint && hasWork, nil
 }
 
 // ExploreOpts configures a design-space exploration run.
@@ -52,6 +128,19 @@ type ExploreOpts struct {
 	// plus the designed candidate when requested); adaptive strategies
 	// grow it as they propose further generations. Calls are serialized.
 	OnProgress func(done, total int)
+	// Objectives selects the optimization axes. nil (or footprint alone)
+	// is the classic scalar mode. Listing both footprint and work turns
+	// on multi-objective Pareto mode: the engine additionally maintains
+	// a Pareto front over the in-order candidate stream and reports
+	// front changes through OnFront. The front is fed in deterministic
+	// stream order — never completion order — so it is byte-identical at
+	// every Parallelism. Work alone is rejected (see ParseObjectives).
+	Objectives []Objective
+	// OnFront, when set (Pareto mode only), streams the current Pareto
+	// front — sorted by ascending footprint — every time an in-order
+	// candidate changes it. Calls are serialized with OnCandidate and
+	// OnProgress; the slice is a copy the callback may keep.
+	OnFront func(front []Candidate)
 }
 
 // SpaceSize returns the number of valid decision vectors (~144k), cached
@@ -88,27 +177,57 @@ func evaluate(ctx context.Context, v dspace.Vector, par Params, tr *trace.Trace,
 }
 
 // ParetoFront returns the candidates not dominated in (footprint, work),
-// sorted by footprint. Failed candidates are excluded.
+// sorted by ascending footprint (equivalently, strictly descending
+// work). Failed candidates are excluded, and among candidates sharing an
+// objective point the first in slice order survives — the slice order of
+// Explore results is deterministic, so the front (including which vector
+// represents each point) is too.
 func ParetoFront(cands []Candidate) []Candidate {
-	var ok []Candidate
+	var acc frontAccum
 	for _, c := range cands {
-		if c.Err == nil {
-			ok = append(ok, c)
-		}
+		acc.add(c)
 	}
-	sort.Slice(ok, func(i, j int) bool {
-		if ok[i].MaxFootprint != ok[j].MaxFootprint {
-			return ok[i].MaxFootprint < ok[j].MaxFootprint
-		}
-		return ok[i].Work < ok[j].Work
+	return acc.snapshot()
+}
+
+// frontAccum incrementally accumulates a candidate Pareto front over
+// (footprint, work) by delegating all dominance decisions to
+// search.ParetoFront — one copy of that logic in the module — while
+// remembering the first-seen candidate per accepted objective point, so
+// Designed, Params and Err travel with their point. Entries for points
+// later evicted from the front go stale in the map; they are never
+// referenced again and fronts are tiny, so they are not reaped.
+type frontAccum struct {
+	points search.ParetoFront
+	cands  map[[2]int64]Candidate
+}
+
+// add offers c to the front, reporting whether it entered (evicting any
+// members it dominates). Failed candidates never enter, and among
+// candidates sharing an objective point the first added wins.
+func (a *frontAccum) add(c Candidate) bool {
+	ok := a.points.Add(search.Result{
+		Footprint: c.MaxFootprint,
+		Work:      c.Work,
+		Failed:    c.Err != nil,
 	})
-	var front []Candidate
-	bestWork := int64(1<<62 - 1)
-	for _, c := range ok {
-		if c.Work < bestWork {
-			front = append(front, c)
-			bestWork = c.Work
-		}
+	if !ok {
+		return false
+	}
+	if a.cands == nil {
+		a.cands = make(map[[2]int64]Candidate)
+	}
+	a.cands[[2]int64{c.MaxFootprint, c.Work}] = c
+	return true
+}
+
+// snapshot returns a copy of the current front, sorted by ascending
+// footprint.
+func (a *frontAccum) snapshot() []Candidate {
+	rs := a.points.Results()
+	front := make([]Candidate, len(rs))
+	for i, r := range rs {
+		front[i] = a.cands[[2]int64{r.Footprint, r.Work}]
 	}
 	return front
 }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/search"
+)
+
+var paretoObjectives = []Objective{ObjectiveFootprint, ObjectiveWork}
+
+func frontPoints(front []Candidate) [][2]int64 {
+	ps := make([][2]int64, len(front))
+	for i, c := range front {
+		ps[i] = [2]int64{c.MaxFootprint, c.Work}
+	}
+	return ps
+}
+
+// TestNSGADeterministic extends the engine's determinism contract to the
+// multi-objective strategy and the streaming front path: the same NSGA
+// seed and options must produce a byte-identical candidate stream and an
+// identical sequence of front updates at parallelism 1 and 8.
+func TestNSGADeterministic(t *testing.T) {
+	tr := exploreTrace()
+	run := func(parallelism int) (cands []Candidate, fronts [][][2]int64) {
+		cands, err := NewEngine(0).Explore(context.Background(), tr, ExploreOpts{
+			Strategy:    search.NewNSGA(11, gaConfig()),
+			Objectives:  paretoObjectives,
+			Parallelism: parallelism,
+			OnFront:     func(f []Candidate) { fronts = append(fronts, frontPoints(f)) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cands, fronts
+	}
+	seq, seqFronts := run(1)
+	par, parFronts := run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential %d candidates, parallel %d", len(seq), len(par))
+	}
+	sk, pk := keysOf(seq), keysOf(par)
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Errorf("candidate %d diverges:\n  seq %+v\n  par %+v", i, sk[i], pk[i])
+		}
+	}
+	if len(seqFronts) != len(parFronts) {
+		t.Fatalf("sequential %d front updates, parallel %d", len(seqFronts), len(parFronts))
+	}
+	for i := range seqFronts {
+		if len(seqFronts[i]) != len(parFronts[i]) {
+			t.Fatalf("front update %d: %d vs %d points", i, len(seqFronts[i]), len(parFronts[i]))
+		}
+		for j := range seqFronts[i] {
+			if seqFronts[i][j] != parFronts[i][j] {
+				t.Errorf("front update %d point %d diverges: %v vs %v",
+					i, j, seqFronts[i][j], parFronts[i][j])
+			}
+		}
+	}
+	// The final streamed front must equal the front of the full result set.
+	final := frontPoints(ParetoFront(seq))
+	last := seqFronts[len(seqFronts)-1]
+	if len(final) != len(last) {
+		t.Fatalf("final streamed front has %d points, ParetoFront %d", len(last), len(final))
+	}
+	for i := range final {
+		if final[i] != last[i] {
+			t.Errorf("streamed front point %d is %v, ParetoFront has %v", i, last[i], final[i])
+		}
+	}
+}
+
+// TestNSGAExploreRecoversSubspaceFront is the multi-objective oracle
+// test, mirroring TestGAExploreFindsSubspaceOptimum with real replay
+// fitness: the pinned subspace is enumerated outright and its exact
+// Pareto front computed; the NSGA must recover the identical front
+// (objective points — distinct vectors may share a point) while
+// evaluating fewer vectors than the subspace holds.
+func TestNSGAExploreRecoversSubspaceFront(t *testing.T) {
+	tr := exploreTrace()
+	fix := search.Fixed{
+		dspace.A2BlockSizes: dspace.OneBlockSize,
+		dspace.C1Fit:        dspace.FirstFit,
+		dspace.B3PoolPhase:  dspace.SharedPools,
+	}
+	sub := search.Size(fix)
+	if sub == 0 || sub > 1000 {
+		t.Fatalf("subspace has %d vectors; want a small non-empty oracle", sub)
+	}
+
+	oracle, err := NewEngine(0).Explore(context.Background(), tr, ExploreOpts{
+		Strategy:   &search.Exhaustive{Max: sub, Fix: fix},
+		Objectives: paretoObjectives,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle) != sub {
+		t.Fatalf("oracle evaluated %d of %d subspace vectors", len(oracle), sub)
+	}
+	want := frontPoints(ParetoFront(oracle))
+	if len(want) == 0 {
+		t.Fatal("oracle front is empty")
+	}
+
+	nsga := search.NewNSGA(1, search.GAConfig{
+		Population:  16,
+		Generations: 20,
+		Patience:    8,
+		Fix:         fix,
+	})
+	cands, err := NewEngine(0).Explore(context.Background(), tr, ExploreOpts{
+		Strategy:   nsga,
+		Objectives: paretoObjectives,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := frontPoints(ParetoFront(cands))
+	if len(got) != len(want) {
+		t.Fatalf("NSGA front has %d points, oracle front %d (NSGA evaluated %d of %d)\n got  %v\n want %v",
+			len(got), len(want), len(cands), sub, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("front point %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(cands) >= sub {
+		t.Errorf("NSGA evaluated %d vectors, subspace holds only %d — no savings", len(cands), sub)
+	}
+	// The strategy's own archive front must agree with the result front.
+	arch := nsga.Front()
+	if len(arch) != len(want) {
+		t.Fatalf("NSGA archive front has %d points, oracle %d", len(arch), len(want))
+	}
+	for i, r := range arch {
+		if r.Footprint != want[i][0] || r.Work != want[i][1] {
+			t.Errorf("archive point %d: got (%d,%d), want %v", i, r.Footprint, r.Work, want[i])
+		}
+	}
+}
+
+// TestExploreObjectiveValidation pins the option-validation contract:
+// work-only objectives and OnFront without Pareto mode are rejected
+// before any evaluation happens.
+func TestExploreObjectiveValidation(t *testing.T) {
+	tr := exploreTrace()
+	if _, err := Explore(tr, ExploreOpts{Objectives: []Objective{ObjectiveWork}}); err == nil {
+		t.Error("work-only objectives accepted")
+	}
+	if _, err := Explore(tr, ExploreOpts{OnFront: func([]Candidate) {}}); err == nil {
+		t.Error("OnFront without Pareto objectives accepted")
+	}
+	if _, err := Explore(tr, ExploreOpts{
+		MaxCandidates: 4,
+		Objectives:    []Objective{ObjectiveFootprint},
+	}); err != nil {
+		t.Errorf("footprint-only objectives rejected: %v", err)
+	}
+}
+
+// TestParseObjectives pins the CLI syntax for -objectives.
+func TestParseObjectives(t *testing.T) {
+	good := map[string]int{
+		"":                0,
+		"footprint":       1,
+		"footprint,work":  2,
+		"work,footprint":  2,
+		"footprint, work": 2,
+	}
+	for s, n := range good {
+		objs, err := ParseObjectives(s)
+		if err != nil {
+			t.Errorf("ParseObjectives(%q): %v", s, err)
+		}
+		if len(objs) != n {
+			t.Errorf("ParseObjectives(%q) = %v, want %d objectives", s, objs, n)
+		}
+	}
+	for _, s := range []string{"latency", "footprint,footprint", "footprint,", "work,work"} {
+		if _, err := ParseObjectives(s); err == nil {
+			t.Errorf("ParseObjectives(%q) accepted", s)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestParetoQuickDRRAcceptance pins the fig-pareto claim on the quick DRR
+// workload, mirroring TestEvoQuickDRRAcceptance for the multi-objective
+// engine: the seeded NSGA must recover the exhaustively enumerated Pareto
+// front of the pinned subspace exactly, while evaluating at most 60% of
+// it. Both runs are deterministic, so this is a regression gate, not a
+// statistical test.
+func TestParetoQuickDRRAcceptance(t *testing.T) {
+	row, err := paretoRow(context.Background(), Config{Quick: true}, 1, WorkloadDRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.OracleFront) == 0 {
+		t.Fatal("oracle front is empty")
+	}
+	if len(row.NSGAFront) != len(row.OracleFront) || row.Matched != len(row.OracleFront) {
+		t.Errorf("NSGA front %v does not match oracle front %v (matched %d)",
+			row.NSGAFront, row.OracleFront, row.Matched)
+	}
+	if frac := row.EvalFraction(); frac > 0.60 {
+		t.Errorf("NSGA evaluated %d of %d subspace vectors (%.0f%%, want <= 60%%)",
+			row.NSGAEvals, row.SubspaceSize, 100*frac)
+	}
+	if row.NSGAEvals <= 0 {
+		t.Error("NSGA evaluated nothing")
+	}
+}
+
+// TestWriteParetoRenders smoke-tests the renderer against a synthetic
+// result (no replays, so it stays fast).
+func TestWriteParetoRenders(t *testing.T) {
+	r := &ParetoResult{
+		Seed: 1,
+		Rows: []ParetoRow{
+			{
+				Workload:     WorkloadDRR,
+				SubspaceSize: 240,
+				OracleFront:  []FrontPoint{{131072, 200000}, {180224, 150000}},
+				NSGAFront:    []FrontPoint{{131072, 200000}, {180224, 150000}},
+				Matched:      2,
+				NSGAEvals:    111,
+			},
+			{
+				Workload:     WorkloadRender,
+				SubspaceSize: 240,
+				OracleFront:  []FrontPoint{{1078280, 90000}},
+				NSGAFront:    []FrontPoint{{1078280, 90000}},
+				Matched:      1,
+				NSGAEvals:    98,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePareto(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drr", "render3d", "131072", "recovered", "100%", "oracle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,7 +11,7 @@
 // simulated heap), and Observe feeds the measured fitness back in
 // proposal order before the next batch is proposed.
 //
-// Two strategies are provided:
+// Three strategies are provided:
 //
 //   - Exhaustive is the non-adaptive baseline: a single generation
 //     holding a uniform ceiling-stride sample of the valid space in
@@ -27,6 +27,19 @@
 //     after a configurable number of stale generations. It typically
 //     reaches the exhaustive sample's best footprint while evaluating a
 //     small fraction of the candidates.
+//
+//   - NSGA is the multi-objective variant (NSGA-II): the same genome
+//     operators, but selection by Pareto rank over (footprint, work) —
+//     non-dominated sorting with crowding-distance truncation — so the
+//     search converges to the whole footprint×work trade-off front
+//     rather than a single scalar optimum. It maintains an archive
+//     ParetoFront over every evaluated vector and stops once the front
+//     is stale for a configurable number of generations.
+//
+// The Pareto primitives are shared: Dominates defines strict dominance
+// over (footprint, work), ParetoFront accumulates a deterministic
+// non-dominated set (first-seen wins among equal objective points), and
+// FrontOf computes the front of a result slice in one shot.
 //
 // Genomes are dspace.Vector values. Crossover and mutation recombine
 // leaves freely, which routinely breaks the design-space

@@ -1,0 +1,140 @@
+package search
+
+import (
+	"testing"
+
+	"dmmkit/internal/dspace"
+)
+
+// TestGAEliteExceedsPopulation pins the config-clamping contract: an
+// elitism count larger than the population must not panic or inflate the
+// generation — it is clamped to the population size.
+func TestGAEliteExceedsPopulation(t *testing.T) {
+	g := NewGA(1, GAConfig{Population: 4, Elite: 10, Generations: 5})
+	for {
+		batch := g.Next()
+		if len(batch) == 0 {
+			break
+		}
+		if len(batch) > 4 {
+			t.Fatalf("generation proposes %d vectors, population is 4", len(batch))
+		}
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			results[i] = fakeFitness(v)
+		}
+		g.Observe(results)
+	}
+	if g.Evaluations() == 0 {
+		t.Error("clamped GA evaluated nothing")
+	}
+	if _, ok := g.Best(); !ok {
+		t.Error("clamped GA found no best")
+	}
+}
+
+// TestMaxEvaluationsBelowOneGeneration pins the budget trim on both
+// strategies: a MaxEvaluations smaller than one population means the seed
+// generation is trimmed to exactly the budget and the search stops there.
+func TestMaxEvaluationsBelowOneGeneration(t *testing.T) {
+	for name, s := range map[string]Strategy{
+		"ga":   NewGA(1, GAConfig{Population: 12, Generations: 10, MaxEvaluations: 5}),
+		"nsga": NewNSGA(1, GAConfig{Population: 12, Generations: 10, MaxEvaluations: 5}),
+	} {
+		evals := 0
+		batches := 0
+		for {
+			batch := s.Next()
+			if len(batch) == 0 {
+				break
+			}
+			batches++
+			results := make([]Result, len(batch))
+			for i, v := range batch {
+				results[i] = fakeFitness(v)
+			}
+			evals += len(batch)
+			s.Observe(results)
+		}
+		if evals != 5 {
+			t.Errorf("%s: evaluated %d vectors, budget is 5", name, evals)
+		}
+		if batches != 1 {
+			t.Errorf("%s: proposed %d batches after spending the budget, want 1", name, batches)
+		}
+	}
+}
+
+// TestPatienceZeroSelectsDefault pins that Patience: 0 is "use the
+// documented default of 4", not "stop immediately": with a constant
+// fitness nothing improves after the seed generation, so the run scores
+// at most 1+4 generations — and more than one, proving the search did
+// not treat zero patience as instant convergence.
+func TestPatienceZeroSelectsDefault(t *testing.T) {
+	g := NewGA(1, GAConfig{Population: 8, Generations: 50, Patience: 0})
+	for {
+		batch := g.Next()
+		if len(batch) == 0 {
+			break
+		}
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			results[i] = Result{Vector: v, Footprint: 1000, Work: 10}
+		}
+		g.Observe(results)
+		if g.Generation() > 10 {
+			t.Fatal("GA with zero patience never converged")
+		}
+	}
+	if g.Generation() <= 1 {
+		t.Errorf("scored %d generations; Patience=0 must mean the default, not instant stop", g.Generation())
+	}
+	if g.Generation() > 5 {
+		t.Errorf("scored %d generations, want <= 5 (seed + 4 stale)", g.Generation())
+	}
+}
+
+// TestNSGASingletonSubspace drives the NSGA on a subspace pinned down to
+// very few vectors: the run must terminate (no spinning on a tiny
+// neighbourhood) and the archive front must be the true front of the
+// handful of points.
+func TestNSGASingletonSubspace(t *testing.T) {
+	// Pin every tree of one known-valid vector except the free-list order,
+	// leaving a subspace of only a few vectors.
+	base := Sample(1, nil)[0]
+	fix := Fixed{}
+	for i := 0; i < dspace.NumTrees; i++ {
+		tr := dspace.Tree(i)
+		if tr == dspace.C2FreeOrder {
+			continue
+		}
+		fix[tr] = base.Get(tr)
+	}
+	sub := Size(fix)
+	if sub == 0 || sub > 8 {
+		t.Fatalf("subspace has %d vectors, want a handful", sub)
+	}
+	var all []Result
+	dspace.Enumerate(func(v dspace.Vector) bool {
+		if fix.Matches(v) {
+			all = append(all, fakeBiFitness(v))
+		}
+		return true
+	})
+	n := NewNSGA(9, GAConfig{Population: 8, Generations: 10, Fix: fix})
+	evals := driveBi(n)
+	if evals > sub {
+		t.Errorf("evaluated %d vectors in a subspace of %d", evals, sub)
+	}
+	want := FrontOf(all)
+	got := n.Front()
+	if len(got) != len(want) {
+		t.Fatalf("front has %d points, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Footprint != want[i].Footprint || got[i].Work != want[i].Work {
+			t.Errorf("front point %d: got (%d,%d), want (%d,%d)",
+				i, got[i].Footprint, got[i].Work, want[i].Footprint, want[i].Work)
+		}
+	}
+}

@@ -240,17 +240,26 @@ func (g *GA) tournament() dspace.Vector {
 
 // breed builds a raw (possibly invalid) child genome from two parents.
 func (g *GA) breed(a, b dspace.Vector) dspace.Vector {
+	return crossoverMutate(g.rng, g.cfg.CrossoverRate, g.cfg.MutationRate, a, b)
+}
+
+// crossoverMutate is the genome operator shared by GA and NSGA: per-tree
+// uniform crossover at crossRate, then per-tree uniform mutation at
+// mutRate. The child may violate the design-space constraints and must be
+// repaired. The rng consumption pattern depends only on the rates, which
+// is what keeps seeded runs reproducible.
+func crossoverMutate(rng *rand.Rand, crossRate, mutRate float64, a, b dspace.Vector) dspace.Vector {
 	child := a
-	if g.rng.Float64() < g.cfg.CrossoverRate {
+	if rng.Float64() < crossRate {
 		for t := 0; t < dspace.NumTrees; t++ {
-			if g.rng.Intn(2) == 1 {
+			if rng.Intn(2) == 1 {
 				child.Set(dspace.Tree(t), b.Get(dspace.Tree(t)))
 			}
 		}
 	}
 	for t := 0; t < dspace.NumTrees; t++ {
-		if g.rng.Float64() < g.cfg.MutationRate {
-			child.Set(dspace.Tree(t), dspace.Leaf(g.rng.Intn(dspace.LeafCount(dspace.Tree(t)))))
+		if rng.Float64() < mutRate {
+			child.Set(dspace.Tree(t), dspace.Leaf(rng.Intn(dspace.LeafCount(dspace.Tree(t)))))
 		}
 	}
 	return child

@@ -1,0 +1,200 @@
+package search
+
+import (
+	"testing"
+
+	"dmmkit/internal/dspace"
+)
+
+// fakeBiFitness scores vectors on two partially conflicting synthetic
+// objectives (leaf sums weighted in opposite tree orders), so pinned
+// subspaces have non-trivial Pareto fronts without any trace replay.
+func fakeBiFitness(v dspace.Vector) Result {
+	var f, w int64
+	for i := 0; i < dspace.NumTrees; i++ {
+		l := int64(v.Get(dspace.Tree(i)))
+		f += l * int64(i+1)
+		w += l * int64(dspace.NumTrees-i)
+	}
+	return Result{Vector: v, Footprint: f, Work: w}
+}
+
+func driveBi(s Strategy) (evals int) {
+	for {
+		batch := s.Next()
+		if len(batch) == 0 {
+			return evals
+		}
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			results[i] = fakeBiFitness(v)
+		}
+		evals += len(batch)
+		s.Observe(results)
+	}
+}
+
+// TestNSGAProposalsUniqueAndValid drives the NSGA against the synthetic
+// bi-objective fitness and checks every proposed vector is valid and
+// never proposed twice (the dedup contract shared with GA).
+func TestNSGAProposalsUniqueAndValid(t *testing.T) {
+	n := NewNSGA(42, GAConfig{Population: 12, Generations: 10})
+	seen := make(map[dspace.Vector]bool)
+	for {
+		batch := n.Next()
+		if len(batch) == 0 {
+			break
+		}
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			if seen[v] {
+				t.Fatalf("vector %v proposed twice", v)
+			}
+			seen[v] = true
+			if err := dspace.Validate(&v); err != nil {
+				t.Fatalf("NSGA proposed invalid vector: %v", err)
+			}
+			results[i] = fakeBiFitness(v)
+		}
+		n.Observe(results)
+	}
+	if n.Evaluations() != len(seen) {
+		t.Errorf("Evaluations() = %d, want %d", n.Evaluations(), len(seen))
+	}
+	if len(n.Front()) == 0 {
+		t.Error("no front after a full run")
+	}
+}
+
+// TestNSGASameSeedSameProposals replays two NSGAs with the same seed and
+// checks the full proposal sequence is identical; a different seed must
+// diverge.
+func TestNSGASameSeedSameProposals(t *testing.T) {
+	runSeq := func(seed int64) [][]dspace.Vector {
+		n := NewNSGA(seed, GAConfig{Population: 10, Generations: 6})
+		var seq [][]dspace.Vector
+		for {
+			batch := n.Next()
+			if len(batch) == 0 {
+				return seq
+			}
+			seq = append(seq, append([]dspace.Vector(nil), batch...))
+			results := make([]Result, len(batch))
+			for i, v := range batch {
+				results[i] = fakeBiFitness(v)
+			}
+			n.Observe(results)
+		}
+	}
+	a, b := runSeq(7), runSeq(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed: %d vs %d generations", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("generation %d: %d vs %d proposals", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("generation %d proposal %d differs", i, j)
+			}
+		}
+	}
+	c := runSeq(8)
+	diverged := len(c) != len(a)
+	for i := 0; !diverged && i < len(a); i++ {
+		if len(a[i]) != len(c[i]) {
+			diverged = true
+			break
+		}
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Error("seeds 7 and 8 produced identical proposal sequences")
+	}
+}
+
+// TestNSGARecoversSubspaceFront holds the NSGA against an exhaustive
+// oracle on a pinned subspace small enough to enumerate outright: the
+// archive front must equal the true Pareto front of the subspace
+// (objective points, not vectors — distinct vectors may share a point),
+// while evaluating fewer vectors than the subspace holds.
+func TestNSGARecoversSubspaceFront(t *testing.T) {
+	fix := Fixed{
+		dspace.A2BlockSizes: dspace.OneBlockSize,
+		dspace.C1Fit:        dspace.FirstFit,
+		dspace.B3PoolPhase:  dspace.SharedPools,
+	}
+	var all []Result
+	dspace.Enumerate(func(v dspace.Vector) bool {
+		if fix.Matches(v) {
+			all = append(all, fakeBiFitness(v))
+		}
+		return true
+	})
+	if len(all) == 0 || len(all) > 1000 {
+		t.Fatalf("pinned subspace has %d vectors; want a small non-empty oracle", len(all))
+	}
+	want := FrontOf(all)
+
+	n := NewNSGA(3, GAConfig{Population: 16, Generations: 30, Patience: 8, Fix: fix})
+	evals := driveBi(n)
+	got := n.Front()
+	if len(got) != len(want) {
+		t.Fatalf("NSGA front has %d points, oracle %d (evaluated %d of %d)\n got %v\nwant %v",
+			len(got), len(want), evals, len(all), points(got), points(want))
+	}
+	for i := range got {
+		if got[i].Footprint != want[i].Footprint || got[i].Work != want[i].Work {
+			t.Errorf("front point %d: got (%d,%d), want (%d,%d)",
+				i, got[i].Footprint, got[i].Work, want[i].Footprint, want[i].Work)
+		}
+	}
+	if evals >= len(all) {
+		t.Errorf("NSGA evaluated %d vectors, subspace holds only %d — no savings", evals, len(all))
+	}
+}
+
+func points(rs []Result) [][2]int64 {
+	ps := make([][2]int64, len(rs))
+	for i, r := range rs {
+		ps[i] = [2]int64{r.Footprint, r.Work}
+	}
+	return ps
+}
+
+// TestNSGAFrontSurvivesFailures checks that failed evaluations never
+// enter the archive front and never displace measured points.
+func TestNSGAFrontSurvivesFailures(t *testing.T) {
+	n := NewNSGA(5, GAConfig{Population: 8, Generations: 4})
+	first := true
+	for {
+		batch := n.Next()
+		if len(batch) == 0 {
+			break
+		}
+		results := make([]Result, len(batch))
+		for i, v := range batch {
+			if first && i%2 == 1 {
+				results[i] = Result{Vector: v, Failed: true}
+			} else {
+				results[i] = fakeBiFitness(v)
+			}
+		}
+		first = false
+		n.Observe(results)
+	}
+	for _, r := range n.Front() {
+		if r.Failed {
+			t.Fatalf("failed result %v on the front", r.Vector)
+		}
+	}
+	if len(n.Front()) == 0 {
+		t.Error("front empty despite successful evaluations")
+	}
+}

@@ -1,0 +1,102 @@
+package search
+
+import "sort"
+
+// Dominates reports whether a Pareto-dominates b over the two objectives
+// (footprint, work): a is no worse than b in both and strictly better in
+// at least one. A successful result dominates every failed one, and a
+// failed result dominates nothing, so failed vectors can never push a
+// measured point off a front.
+func Dominates(a, b Result) bool {
+	if a.Failed {
+		return false
+	}
+	if b.Failed {
+		return true
+	}
+	if a.Footprint > b.Footprint || a.Work > b.Work {
+		return false
+	}
+	return a.Footprint < b.Footprint || a.Work < b.Work
+}
+
+// ParetoFront accumulates the non-dominated set of results over
+// (footprint, work). The zero value is an empty front.
+//
+// The front is deterministic in the order results are added: a result
+// enters only if no member dominates it or occupies the same objective
+// point (first-seen wins among objective ties), and entering evicts every
+// member it dominates. Feeding the same result sequence therefore always
+// yields the same front — which is why the engine feeds it from the
+// in-order candidate stream rather than from completion order.
+type ParetoFront struct {
+	// members are kept sorted by ascending footprint; since no member
+	// dominates another, work is strictly descending along the slice.
+	members []Result
+}
+
+// Add offers r to the front. It returns true when r entered (evicting any
+// members it dominates) and false when r was dominated, duplicated an
+// existing objective point, or had Failed set.
+func (f *ParetoFront) Add(r Result) bool {
+	if r.Failed {
+		return false
+	}
+	// The insertion point by footprint: members[:i] have footprint < r's.
+	i := sort.Search(len(f.members), func(k int) bool {
+		return f.members[k].Footprint >= r.Footprint
+	})
+	// Members left of i have smaller footprint; the nearest one dominates
+	// r unless r strictly improves on its work. A member at i with the
+	// same footprint but less work dominates r too. Members from i
+	// rightward are otherwise evicted while their work is >= r's.
+	if i > 0 && f.members[i-1].Work <= r.Work {
+		return false
+	}
+	if i < len(f.members) && f.members[i].Footprint == r.Footprint && f.members[i].Work < r.Work {
+		return false
+	}
+	j := i
+	for j < len(f.members) && f.members[j].Work >= r.Work {
+		if f.members[j].Footprint == r.Footprint && f.members[j].Work == r.Work {
+			return false // same objective point: first-seen wins
+		}
+		j++
+	}
+	f.members = append(f.members[:i], append([]Result{r}, f.members[j:]...)...)
+	return true
+}
+
+// Len returns the number of points on the front.
+func (f *ParetoFront) Len() int { return len(f.members) }
+
+// Results returns a copy of the front sorted by ascending footprint
+// (equivalently, descending work).
+func (f *ParetoFront) Results() []Result {
+	return append([]Result(nil), f.members...)
+}
+
+// Dominated reports whether r is dominated by (or duplicates the
+// objective point of) a member of the front, i.e. whether Add would
+// reject it. Failed results are always dominated.
+func (f *ParetoFront) Dominated(r Result) bool {
+	if r.Failed {
+		return true
+	}
+	for _, m := range f.members {
+		if Dominates(m, r) || (m.Footprint == r.Footprint && m.Work == r.Work) {
+			return true
+		}
+	}
+	return false
+}
+
+// FrontOf returns the Pareto front of results, offered in slice order
+// (first-seen wins among objective ties), sorted by ascending footprint.
+func FrontOf(results []Result) []Result {
+	var f ParetoFront
+	for _, r := range results {
+		f.Add(r)
+	}
+	return f.Results()
+}

@@ -1,0 +1,148 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmmkit/internal/dspace"
+)
+
+func pt(f, w int64) Result {
+	var v dspace.Vector
+	v.Set(dspace.A1BlockStructure, dspace.Leaf(f%3))
+	return Result{Vector: v, Footprint: f, Work: w}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Result
+		want bool
+	}{
+		{pt(1, 1), pt(2, 2), true},              // better in both
+		{pt(1, 2), pt(2, 2), true},              // better in one, equal in the other
+		{pt(2, 1), pt(2, 2), true},              // same footprint, less work
+		{pt(2, 2), pt(2, 2), false},             // equal point: no strict improvement
+		{pt(1, 3), pt(3, 1), false},             // trade-off: incomparable
+		{pt(3, 1), pt(1, 3), false},             // trade-off, other direction
+		{Result{Failed: true}, pt(9, 9), false}, // failed dominates nothing
+		{pt(9, 9), Result{Failed: true}, true},  // success dominates failure
+		{Result{Failed: true}, Result{Failed: true}, false},
+	}
+	for i, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Dominates(%+v, %+v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestParetoFrontEmptyAndSingleton pins the degenerate fronts: the zero
+// value is empty, a failed result leaves it empty, and one successful
+// result is its own front.
+func TestParetoFrontEmptyAndSingleton(t *testing.T) {
+	var f ParetoFront
+	if f.Len() != 0 || len(f.Results()) != 0 {
+		t.Fatalf("zero-value front not empty: %v", f.Results())
+	}
+	if f.Add(Result{Failed: true}) {
+		t.Error("failed result entered the front")
+	}
+	if f.Len() != 0 {
+		t.Fatalf("front has %d members after a failed add", f.Len())
+	}
+	if !f.Add(pt(10, 10)) {
+		t.Error("first successful result rejected")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("singleton front has %d members", f.Len())
+	}
+	if got := f.Results(); got[0].Footprint != 10 || got[0].Work != 10 {
+		t.Errorf("singleton front holds %+v", got[0])
+	}
+	if !f.Dominated(pt(11, 11)) || f.Dominated(pt(9, 20)) {
+		t.Error("Dominated disagrees with the singleton front")
+	}
+}
+
+// TestParetoFrontAccumulates drives the accumulator through inserts,
+// rejections and evictions and checks the maintained invariant: sorted by
+// ascending footprint, strictly descending work, no dominated members.
+func TestParetoFrontAccumulates(t *testing.T) {
+	var f ParetoFront
+	adds := []struct {
+		r    Result
+		want bool
+	}{
+		{pt(10, 10), true},
+		{pt(20, 20), false}, // dominated
+		{pt(5, 20), true},   // trade-off: cheaper footprint, more work
+		{pt(15, 5), true},   // trade-off: more footprint, less work
+		{pt(10, 10), false}, // duplicate objective point
+		{pt(10, 11), false}, // dominated by (10,10)
+		{pt(10, 9), true},   // evicts (10,10)
+		{pt(1, 1), true},    // dominates everything: evicts the whole front
+	}
+	for i, a := range adds {
+		if got := f.Add(a.r); got != a.want {
+			t.Errorf("add %d (%d,%d): Add = %v, want %v", i, a.r.Footprint, a.r.Work, got, a.want)
+		}
+	}
+	got := f.Results()
+	if len(got) != 1 || got[0].Footprint != 1 || got[0].Work != 1 {
+		t.Fatalf("final front %v, want the single point (1,1)", got)
+	}
+}
+
+// TestParetoFrontMatchesBruteForce cross-checks the incremental
+// accumulator against a brute-force dominance filter on random points,
+// and checks the ordering invariant of Results.
+func TestParetoFrontMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var results []Result
+		for i := 0; i < 60; i++ {
+			results = append(results, pt(int64(rng.Intn(30)), int64(rng.Intn(30))))
+		}
+		got := FrontOf(results)
+		// Brute force: a point is on the front iff nothing dominates it;
+		// among equal objective points only one survives.
+		type point struct{ f, w int64 }
+		wantSet := map[point]bool{}
+		for _, r := range results {
+			dominated := false
+			for _, s := range results {
+				if Dominates(s, r) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				wantSet[point{r.Footprint, r.Work}] = true
+			}
+		}
+		if len(got) != len(wantSet) {
+			t.Fatalf("trial %d: front has %d points, brute force %d", trial, len(got), len(wantSet))
+		}
+		for i, r := range got {
+			if !wantSet[point{r.Footprint, r.Work}] {
+				t.Fatalf("trial %d: front point (%d,%d) not in brute-force set", trial, r.Footprint, r.Work)
+			}
+			if i > 0 && (got[i-1].Footprint >= r.Footprint || got[i-1].Work <= r.Work) {
+				t.Fatalf("trial %d: front not strictly ordered at %d: %v", trial, i, got)
+			}
+		}
+	}
+}
+
+// TestParetoFrontDeterministicTieBreak pins first-seen-wins for equal
+// objective points: the surviving vector is the one added first.
+func TestParetoFrontDeterministicTieBreak(t *testing.T) {
+	a, b := pt(5, 5), pt(5, 5)
+	b.Vector.Set(dspace.C1Fit, dspace.BestFit)
+	var f ParetoFront
+	f.Add(a)
+	f.Add(b)
+	got := f.Results()
+	if len(got) != 1 || got[0].Vector != a.Vector {
+		t.Fatalf("tie broken to %v, want first-seen %v", got[0].Vector, a.Vector)
+	}
+}

@@ -1,0 +1,133 @@
+// Command benchdiff is the CI perf-regression gate: it compares a
+// freshly measured benchmark report (dmmbench -exp bench -json ...)
+// against the committed BENCH_table1.json baseline, row by row, and
+// exits non-zero when any workload×manager cell's ns_per_replay grew
+// beyond the tolerance.
+//
+// The tolerance is deliberately generous (default +40%): CI runners are
+// noisy shared machines, and the gate exists to catch real simulator
+// regressions — an accidentally quadratic free list, a lost fast path —
+// not single-digit jitter. Footprint columns are not compared here; the
+// golden differential test guards those bit-exactly.
+//
+// Usage (from the module root):
+//
+//	go run ./cmd/dmmbench -exp bench -json bench_pr.json
+//	go run ./internal/tools/benchdiff -base BENCH_table1.json -new bench_pr.json
+//	go run ./internal/tools/benchdiff -base BENCH_table1.json -new bench_pr.json -tolerance 0.40
+//
+// Exit status: 0 when every row is within tolerance, 1 on any
+// regression or missing row, 2 on bad input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dmmkit/internal/experiments"
+)
+
+// rowDelta is one workload×manager comparison.
+type rowDelta struct {
+	Workload, Manager string
+	BaseNs, NewNs     float64
+	Missing           bool // row present in the baseline but not remeasured
+}
+
+// Ratio returns new over base ns/replay (1.0 = unchanged, 1.4 = 40%
+// slower).
+func (d rowDelta) Ratio() float64 {
+	if d.BaseNs == 0 {
+		return 0
+	}
+	return d.NewNs / d.BaseNs
+}
+
+// compare matches cur's rows to base's by workload×manager and returns
+// every baseline row's delta (in baseline order) plus the subset that
+// regressed: rows missing from cur, and rows whose ns_per_replay exceeds
+// base*(1+tolerance).
+func compare(base, cur *experiments.BenchReport, tolerance float64) (deltas, regressed []rowDelta) {
+	type key struct{ w, m string }
+	measured := make(map[key]experiments.BenchRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		measured[key{r.Workload, r.Manager}] = r
+	}
+	for _, b := range base.Rows {
+		d := rowDelta{Workload: b.Workload, Manager: b.Manager, BaseNs: b.NsPerReplay}
+		if c, ok := measured[key{b.Workload, b.Manager}]; ok {
+			d.NewNs = c.NsPerReplay
+		} else {
+			d.Missing = true
+		}
+		deltas = append(deltas, d)
+		if d.Missing || d.NewNs > b.NsPerReplay*(1+tolerance) {
+			regressed = append(regressed, d)
+		}
+	}
+	return deltas, regressed
+}
+
+func load(path string) (*experiments.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return &rep, nil
+}
+
+func main() {
+	var (
+		basePath  = flag.String("base", "BENCH_table1.json", "committed baseline report")
+		newPath   = flag.String("new", "bench_pr.json", "freshly measured report to gate")
+		tolerance = flag.Float64("tolerance", 0.40, "allowed ns_per_replay growth fraction (0.40 = +40%)")
+	)
+	flag.Parse()
+	if *tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -tolerance must be >= 0")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: new report: %v\n", err)
+		os.Exit(2)
+	}
+
+	deltas, regressed := compare(base, cur, *tolerance)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tmanager\tbase ns/replay\tnew ns/replay\tratio\t")
+	for _, d := range deltas {
+		if d.Missing {
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t(missing)\t\tREGRESSED\n", d.Workload, d.Manager, d.BaseNs)
+			continue
+		}
+		mark := ""
+		if d.NewNs > d.BaseNs*(1+*tolerance) {
+			mark = "REGRESSED"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%.2f\t%s\n", d.Workload, d.Manager, d.BaseNs, d.NewNs, d.Ratio(), mark)
+	}
+	tw.Flush()
+
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d of %d rows regressed beyond +%.0f%%\n",
+			len(regressed), len(deltas), 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: all %d rows within +%.0f%% of the baseline\n", len(deltas), 100**tolerance)
+}

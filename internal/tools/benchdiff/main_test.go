@@ -1,0 +1,74 @@
+package main
+
+import (
+	"testing"
+
+	"dmmkit/internal/experiments"
+)
+
+func report(rows ...experiments.BenchRow) *experiments.BenchReport {
+	return &experiments.BenchReport{Rows: rows}
+}
+
+func row(w, m string, ns float64) experiments.BenchRow {
+	return experiments.BenchRow{Workload: w, Manager: m, NsPerReplay: ns}
+}
+
+// TestCompareWithinTolerance: growth up to the tolerance passes, even
+// exactly at base*(1+tol); shrinkage always passes.
+func TestCompareWithinTolerance(t *testing.T) {
+	base := report(row("drr", "lea", 1000), row("drr", "kingsley", 500))
+	cur := report(row("drr", "lea", 1400), row("drr", "kingsley", 100))
+	deltas, regressed := compare(base, cur, 0.40)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("rows regressed within tolerance: %+v", regressed)
+	}
+}
+
+// TestCompareFlagsRegression: a row beyond the tolerance is flagged; the
+// others are not dragged along with it.
+func TestCompareFlagsRegression(t *testing.T) {
+	base := report(row("drr", "lea", 1000), row("drr", "kingsley", 500))
+	cur := report(row("drr", "lea", 1401), row("drr", "kingsley", 500))
+	_, regressed := compare(base, cur, 0.40)
+	if len(regressed) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regressed), regressed)
+	}
+	if regressed[0].Manager != "lea" {
+		t.Errorf("flagged %s/%s, want drr/lea", regressed[0].Workload, regressed[0].Manager)
+	}
+	if r := regressed[0].Ratio(); r < 1.40 || r > 1.41 {
+		t.Errorf("ratio %.3f out of expected range", r)
+	}
+}
+
+// TestCompareMissingRowRegresses: a baseline row that was not remeasured
+// is a regression (a silently dropped benchmark must not pass the gate),
+// while extra measured rows are ignored (a new workload does not break
+// the gate before the baseline is regenerated).
+func TestCompareMissingRowRegresses(t *testing.T) {
+	base := report(row("drr", "lea", 1000))
+	cur := report(row("drr", "kingsley", 100), row("render3d", "lea", 900))
+	deltas, regressed := compare(base, cur, 0.40)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1 (baseline rows only)", len(deltas))
+	}
+	if len(regressed) != 1 || !regressed[0].Missing {
+		t.Fatalf("missing row not flagged: %+v", regressed)
+	}
+}
+
+// TestCompareZeroTolerance: with tolerance 0 any growth at all regresses.
+func TestCompareZeroTolerance(t *testing.T) {
+	base := report(row("drr", "lea", 1000))
+	cur := report(row("drr", "lea", 1001))
+	if _, regressed := compare(base, cur, 0); len(regressed) != 1 {
+		t.Fatal("growth passed a zero tolerance")
+	}
+	if _, regressed := compare(base, base, 0); len(regressed) != 0 {
+		t.Fatal("identical reports regressed at zero tolerance")
+	}
+}

@@ -1,0 +1,35 @@
+// Command goldendump captures the current golden differential cells
+// (the exact observable outcome of every workload×manager replay — see
+// experiments.CaptureGolden) and prints them as indented JSON on
+// stdout.
+//
+// CI runs it when the golden-drift test fails, so the got-vs-want
+// comparison can be uploaded as an artifact and a footprint regression
+// diagnosed from the Actions UI with
+//
+//	diff <(go run ./internal/tools/goldendump) internal/experiments/testdata/golden_table1.json
+//
+// without checking the branch out locally.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dmmkit/internal/experiments"
+)
+
+func main() {
+	cells, err := experiments.CaptureGolden()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldendump: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldendump: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}

@@ -35,8 +35,29 @@ type (
 // between generation barriers.
 func NewGASearch(seed int64, cfg GASearchConfig) SearchStrategy { return search.NewGA(seed, cfg) }
 
+// NewNSGASearch returns a deterministic seeded NSGA-II-style
+// multi-objective search strategy: the GA's tournament selection,
+// constraint-repaired crossover and mutation, but with scalar fitness
+// replaced by Pareto rank over (footprint, work) — parents win
+// tournaments by non-domination rank then crowding distance, and
+// survivor selection keeps the best Population individuals of the
+// combined parent+offspring pool, making elitism implicit
+// (GASearchConfig.Elite is ignored). The search converges once
+// cfg.Patience consecutive generations leave its archive Pareto front
+// unchanged.
+//
+// Use it with ExploreOpts.Objectives listing footprint and work; the
+// final front is ParetoFront of the returned candidates. The
+// reproducibility contract is the same as NewGASearch: identical seed
+// and config produce the identical candidate stream — and the identical
+// front — at every ExploreOpts.Parallelism.
+func NewNSGASearch(seed int64, cfg GASearchConfig) SearchStrategy { return search.NewNSGA(seed, cfg) }
+
 // NewExhaustiveSearch returns the non-adaptive baseline strategy: a
 // single generation holding a uniform ceiling-stride sample of at most
 // max valid vectors in enumeration order (max <= 0 selects 128). It is
-// what Explore uses when ExploreOpts.Strategy is nil.
+// what Explore uses when ExploreOpts.Strategy is nil — and, combined
+// with ExploreOpts.Objectives listing footprint and work, the
+// Pareto-aware exhaustive mode: the engine accumulates the front over
+// the full sample.
 func NewExhaustiveSearch(max int) SearchStrategy { return search.NewExhaustive(max) }
