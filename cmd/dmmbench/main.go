@@ -17,6 +17,7 @@
 //	dmmbench -exp static
 //	dmmbench -exp evo               # fig-evo: GA vs exhaustive search
 //	dmmbench -exp pareto            # fig-pareto: NSGA front vs exhaustive subspace front
+//	dmmbench -exp stream            # out-of-core streaming replay measurement
 //	dmmbench -exp all -seeds 10
 //	dmmbench -exp bench -json BENCH_table1.json   # machine-readable perf baseline
 package main
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, evo, pareto, fits, bench, all")
+		exp      = flag.String("exp", "all", "experiment: table1, figure5, perf, order, static, evo, pareto, fits, stream, bench, all")
 		seeds    = flag.Int("seeds", 10, "traces per case study (the paper averages 10)")
 		quick    = flag.Bool("quick", false, "smaller workloads (for smoke runs)")
 		parallel = flag.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -128,6 +129,20 @@ func main() {
 		}
 		return experiments.WriteFits(os.Stdout, frs)
 	})
+	// The stream experiment generates a ~1M-event trace (full mode), so
+	// like bench it only runs when asked for by name.
+	if *exp == "stream" {
+		fmt.Println("== stream ==")
+		sr, err := experiments.RunStream(ctx, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmbench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteStream(os.Stdout, sr); err != nil {
+			fmt.Fprintf(os.Stderr, "dmmbench: stream: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	// The bench experiment writes a file, so it only runs when asked for
 	// by name — never as part of -exp all.
 	if *exp == "bench" {

@@ -24,12 +24,18 @@
 // candidate owns a private simulated heap), with results identical to a
 // sequential run. Ctrl-C cancels the exploration.
 //
+// A trace file passed via -trace is replayed out-of-core: every candidate
+// streams its own pass straight off the file (binary formats), so even a
+// capture far larger than memory explores with O(live-set) memory per
+// worker. A positional trace file is materialized and validated instead.
+//
 // Usage:
 //
 //	dmmexplore -workload drr -candidates 96
 //	dmmexplore -workload drr -strategy ga -population 24 -generations 20
 //	dmmexplore -workload drr -strategy nsga -objectives footprint,work
 //	dmmexplore -workload render3d -parallel 8
+//	dmmexplore -trace drr1.trace
 //	dmmexplore drr1.trace
 package main
 
@@ -128,6 +134,7 @@ func frontPlot(cands, front []dmmkit.Candidate) string {
 func main() {
 	var (
 		workload    = flag.String("workload", "", "generate and explore a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
+		tracePath   = flag.String("trace", "", "explore a trace file, streaming it from disk per candidate (out-of-core; binary traces never materialize)")
 		seed        = flag.Int64("seed", 1, "seed for the workload generator and the genetic strategies (identical seed = identical run)")
 		strategy    = flag.String("strategy", "exhaustive", "search strategy: "+strings.Join(validStrategies, ", "))
 		objectives  = flag.String("objectives", "", "optimization axes: footprint or footprint,work (default: footprint; footprint,work for nsga)")
@@ -152,22 +159,46 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var tr *dmmkit.Trace
+	// op is what the engine explores; traceLine describes it. An
+	// in-memory trace reports its event count up front, a streaming
+	// DMMT2 file may not (the count lives in its trailer).
+	var op dmmkit.TraceOpener
+	var traceLine string
 	switch {
-	case *workload != "":
-		tr, err = dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
-			os.Exit(2)
-		}
-	case flag.NArg() == 1:
-		tr, err = dmmkit.LoadTrace(flag.Arg(0))
+	case *tracePath != "":
+		op, err = dmmkit.OpenTrace(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
 			os.Exit(1)
 		}
+		switch t := op.(type) {
+		case *dmmkit.TraceFile:
+			if n := t.Events(); n >= 0 {
+				traceLine = fmt.Sprintf("%q (%d events, streamed from %s)", t.Name(), n, *tracePath)
+			} else {
+				traceLine = fmt.Sprintf("%q (streamed from %s)", t.Name(), *tracePath)
+			}
+		case *dmmkit.Trace:
+			traceLine = fmt.Sprintf("%q (%d events, live peak %d B)", t.Name, len(t.Events), t.MaxLiveBytes())
+		}
+	case *workload != "":
+		tr, err := dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+			os.Exit(2)
+		}
+		op = tr
+		traceLine = fmt.Sprintf("%q (%d events, live peak %d B)", tr.Name, len(tr.Events), tr.MaxLiveBytes())
+	case flag.NArg() == 1:
+		tr, err := dmmkit.LoadTrace(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+			os.Exit(1)
+		}
+		op = tr
+		traceLine = fmt.Sprintf("%q (%d events, live peak %d B)", tr.Name, len(tr.Events), tr.MaxLiveBytes())
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dmmexplore [-workload NAME | trace-file]")
+		fmt.Fprintln(os.Stderr, "usage: dmmexplore [-workload NAME | -trace FILE | trace-file]")
 		os.Exit(2)
 	}
 
@@ -177,7 +208,6 @@ func main() {
 		Parallelism:     *parallel,
 		Objectives:      objs,
 	}
-	traceLine := fmt.Sprintf("%q (%d events, live peak %d B)", tr.Name, len(tr.Events), tr.MaxLiveBytes())
 	switch *strategy {
 	case "exhaustive":
 		fmt.Printf("exploring up to %d of %d candidates against %s...\n\n",
@@ -209,7 +239,7 @@ func main() {
 			}
 		}
 	}
-	cands, err := dmmkit.NewEngine(*parallel).Explore(ctx, tr, opts)
+	cands, err := dmmkit.NewEngine(*parallel).ExploreSource(ctx, op, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "\ndmmexplore: %v (%d candidates evaluated before cancellation)\n", err, len(cands))
 		os.Exit(1)
@@ -223,6 +253,16 @@ func main() {
 		if cands[i].Designed {
 			designed = &cands[i]
 		}
+	}
+	// Build/replay failures are per-candidate data, but every candidate
+	// failing means the trace itself is unusable (e.g. a corrupt stream
+	// whose damage only surfaces mid-replay, past the decoder's
+	// per-field checks) — that must fail the run, not print an empty
+	// front and exit 0.
+	if len(cands) > 0 && failed == len(cands) {
+		fmt.Fprintf(os.Stderr, "dmmexplore: all %d candidates failed; first error: %v\n",
+			failed, cands[0].Err)
+		os.Exit(1)
 	}
 	front := dmmkit.ParetoFront(cands)
 	fmt.Printf("evaluated %d candidates (%d failed, %.2f%% of the space); Pareto front (footprint vs work):\n\n",

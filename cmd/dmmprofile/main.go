@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dmmprofile drr1.trace
+//	dmmprofile -trace drr1.trace             # stream the file (out-of-core)
 //	dmmprofile -workload render3d -seed 2    # profile a generated trace
 package main
 
@@ -22,34 +23,48 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "generate and profile a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
-		seed     = flag.Int64("seed", 1, "workload seed")
-		walk     = flag.Bool("walk", true, "print the methodology's decision walk")
+		workload  = flag.String("workload", "", "generate and profile a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
+		seed      = flag.Int64("seed", 1, "workload seed")
+		tracePath = flag.String("trace", "", "profile a trace file by streaming it from disk (out-of-core; binary traces never materialize)")
+		walk      = flag.Bool("walk", true, "print the methodology's decision walk")
 	)
 	flag.Parse()
 
-	var tr *dmmkit.Trace
+	var p *dmmkit.AppProfile
 	switch {
-	case *workload != "":
-		var err error
-		tr, err = dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmmprofile: %v\n", err)
-			os.Exit(2)
+	case *tracePath != "":
+		// The streaming path: one pass over the file, memory bounded by
+		// the live set (plus the profiler's lifetime samples) instead of
+		// the trace length.
+		op, err := dmmkit.OpenTrace(*tracePath)
+		if err == nil {
+			var src dmmkit.TraceSource
+			if src, err = op.Open(); err == nil {
+				p, err = dmmkit.ProfileSource(src)
+			}
 		}
-	case flag.NArg() == 1:
-		var err error
-		tr, err = dmmkit.LoadTrace(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmmprofile: %v\n", err)
 			os.Exit(1)
 		}
+	case *workload != "":
+		tr, err := dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmprofile: %v\n", err)
+			os.Exit(2)
+		}
+		p = dmmkit.Profile(tr)
+	case flag.NArg() == 1:
+		tr, err := dmmkit.LoadTrace(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmprofile: %v\n", err)
+			os.Exit(1)
+		}
+		p = dmmkit.Profile(tr)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dmmprofile [-workload NAME | trace-file]")
+		fmt.Fprintln(os.Stderr, "usage: dmmprofile [-workload NAME | -trace FILE | trace-file]")
 		os.Exit(2)
 	}
-
-	p := dmmkit.Profile(tr)
 	fmt.Printf("trace %q: %d events, %d allocs, %d frees\n", p.Name, p.Events, p.Allocs, p.Frees)
 	fmt.Printf("sizes: %d distinct in [%d, %d], mean %.1f, CV %.2f\n",
 		p.DistinctSizes, p.MinSize, p.MaxSize, p.MeanSize, p.SizeCV)

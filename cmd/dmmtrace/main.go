@@ -1,13 +1,21 @@
 // Command dmmtrace generates the case-study allocation traces to files in
 // the binary or JSON trace format, for use with dmmprofile and dmmexplore.
 //
+// The default format is DMMT2, the streamable binary format: events are
+// piped to the output as the workload generates them, never materialized
+// as a slice (the workload's own simulation state is all that stays in
+// memory). The legacy DMMT1 format and JSON materialize the trace first.
+// "-o -" writes to stdout.
+//
 // Usage:
 //
 //	dmmtrace -workload drr -seed 3 -o drr3.trace
 //	dmmtrace -workload recon3d -format json -o recon.json
+//	dmmtrace -workload drr -o - | wc -c
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,19 +24,41 @@ import (
 	"dmmkit"
 )
 
+// fail prints the error and exits non-zero, removing the partially
+// written output file first: a trace that failed to encode (disk full,
+// I/O error) must not be left behind looking like a valid one.
+func fail(err error, removePath string) {
+	if removePath != "" {
+		os.Remove(removePath)
+	}
+	fmt.Fprintf(os.Stderr, "dmmtrace: %v\n", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		workload = flag.String("workload", "drr", "registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
 		seed     = flag.Int64("seed", 1, "workload seed")
 		quick    = flag.Bool("quick", false, "reduced workload configuration")
-		format   = flag.String("format", "binary", "binary or json")
-		out      = flag.String("o", "", "output file (default <workload><seed>.trace)")
+		format   = flag.String("format", "binary", "binary (DMMT2, streamed), binary1 (legacy DMMT1) or json")
+		out      = flag.String("o", "", "output file; - for stdout (default <workload><seed>.trace)")
 	)
 	flag.Parse()
-
-	tr, err := dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dmmtrace: %v\n", err)
+	switch *format {
+	case "binary", "binary1", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "dmmtrace: unknown format %q (binary, binary1, json)\n", *format)
+		os.Exit(2)
+	}
+	// Validate the workload name before creating the output file, so a
+	// usage error neither creates nor clobbers anything.
+	known := false
+	for _, w := range dmmkit.Workloads() {
+		known = known || w == *workload
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "dmmtrace: unknown workload %q (registered: %s)\n",
+			*workload, strings.Join(dmmkit.Workloads(), ", "))
 		os.Exit(2)
 	}
 
@@ -36,25 +66,55 @@ func main() {
 	if path == "" {
 		path = fmt.Sprintf("%s%d.trace", *workload, *seed)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dmmtrace: %v\n", err)
-		os.Exit(1)
+	f := os.Stdout
+	removePath := ""
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			fail(err, "")
+		}
+		removePath = path
 	}
-	defer f.Close()
+	// closeOut flushes the file to disk exactly once; a dropped Close
+	// error (a full disk buffers locally and fails at close) would report
+	// success over a truncated trace.
+	closed := false
+	closeOut := func() error {
+		if closed || f == os.Stdout {
+			return nil
+		}
+		closed = true
+		return f.Close()
+	}
+	defer closeOut()
+
+	wopts := dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick}
+	stats := &dmmkit.TraceStats{}
+	if *format == "binary" {
+		// Streaming: the encoder is the workload's event sink, so the
+		// trace goes straight to disk without being materialized.
+		stats.Sink = dmmkit.NewTraceEncoder(f)
+		wopts.Sink = stats
+	}
+
+	tr, err := dmmkit.BuildWorkload(*workload, wopts)
+	if err != nil {
+		fail(err, removePath)
+	}
+
+	events, peakLive := len(tr.Events), tr.MaxLiveBytes()
 	switch *format {
 	case "binary":
+		err = stats.Sink.(*dmmkit.TraceEncoder).Close()
+		events, peakLive = stats.Events(), stats.MaxLiveBytes()
+	case "binary1":
 		err = tr.EncodeBinary(f)
 	case "json":
 		err = tr.EncodeJSON(f)
-	default:
-		fmt.Fprintf(os.Stderr, "dmmtrace: unknown format %q\n", *format)
-		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dmmtrace: encoding: %v\n", err)
-		os.Exit(1)
+	if err = errors.Join(err, closeOut()); err != nil {
+		fail(fmt.Errorf("encoding: %w", err), removePath)
 	}
-	fmt.Printf("%s: %d events, peak live %d bytes -> %s\n",
-		tr.Name, len(tr.Events), tr.MaxLiveBytes(), path)
+	fmt.Fprintf(os.Stderr, "%s: %d events, peak live %d bytes -> %s\n",
+		tr.Name, events, peakLive, path)
 }

@@ -108,12 +108,36 @@ type (
 type (
 	// Trace is an application allocation trace.
 	Trace = trace.Trace
+	// TraceEvent is one dynamic-memory operation of a trace.
+	TraceEvent = trace.Event
 	// TraceBuilder incrementally constructs well-formed traces.
 	TraceBuilder = trace.Builder
 	// ReplayOpts configures trace replay.
 	ReplayOpts = trace.RunOpts
 	// ReplayResult reports footprint statistics of a replay.
 	ReplayResult = trace.Result
+	// TraceSource streams trace events for out-of-core replay.
+	TraceSource = trace.Source
+	// TraceOpener yields independent streaming passes over one logical
+	// trace (*Trace and *TraceFile implement it).
+	TraceOpener = trace.Opener
+	// TraceFile is a TraceOpener over an on-disk binary trace.
+	TraceFile = trace.File
+	// TraceEncoder writes the streamable DMMT2 binary format; it is an
+	// EventSink, so generation can pipe straight to disk.
+	TraceEncoder = trace.Encoder
+	// EventSink consumes generated events as they are emitted.
+	EventSink = trace.EventSink
+	// TraceStats wraps an EventSink with event/peak-live accounting.
+	TraceStats = trace.StatsSink
+)
+
+// Event kinds of a TraceEvent.
+const (
+	// KindAlloc marks an allocation event.
+	KindAlloc = trace.KindAlloc
+	// KindFree marks a deallocation event.
+	KindFree = trace.KindFree
 )
 
 // Workload configurations (the paper's case studies).
@@ -196,6 +220,41 @@ func Replay(ctx context.Context, m Manager, t *Trace, opts ReplayOpts) (ReplayRe
 	return trace.Run(ctx, m, t, opts)
 }
 
+// ReplaySource replays an event stream against a manager: the out-of-core
+// form of Replay, with memory bounded by the application's live set
+// rather than the trace length. Results are identical to Replay on the
+// materialized equivalent of the stream.
+func ReplaySource(ctx context.Context, m Manager, src TraceSource, opts ReplayOpts) (ReplayResult, error) {
+	return trace.RunSource(ctx, m, src, opts)
+}
+
+// ProfileSource computes the DM behaviour profile from an event stream in
+// one pass, without materializing the trace; ProfileSource(t.Source()) is
+// identical to Profile(t).
+func ProfileSource(src TraceSource) (*AppProfile, error) { return profile.FromSource(src) }
+
+// NewTraceEncoder returns a streaming DMMT2 encoder writing to w: call
+// Begin, WriteEvent per event (or hand it to a workload as an EventSink),
+// then Close. See OpenTraceFile / LoadTrace for reading the file back.
+func NewTraceEncoder(w io.Writer) *TraceEncoder { return trace.NewEncoder(w) }
+
+// OpenTraceFile probes a binary trace file (DMMT1 or DMMT2) and returns a
+// TraceOpener whose every Open streams the file from disk with O(live-set)
+// replay memory. JSON traces have no streaming decoder; use LoadTrace.
+func OpenTraceFile(path string) (*TraceFile, error) { return trace.OpenFile(path) }
+
+// OpenTrace returns a replayable source for a trace file of any format:
+// binary traces (DMMT1/DMMT2) stream from disk out-of-core, JSON traces
+// are materialized in memory and validated. Use it where either a *Trace
+// or a *TraceFile is acceptable (Engine.ExploreSource, the CLIs' -trace
+// flag).
+func OpenTrace(path string) (TraceOpener, error) {
+	if f, err := trace.OpenFile(path); err == nil {
+		return f, nil
+	}
+	return LoadTrace(path)
+}
+
 // Exploration types.
 type (
 	// Candidate is one evaluated design-space point.
@@ -242,6 +301,14 @@ func NewEngine(parallelism int) *Engine { return core.NewEngine(parallelism) }
 // results identical to a sequential run.
 func Explore(ctx context.Context, t *Trace, opts ExploreOpts) ([]Candidate, error) {
 	return core.NewEngine(0).Explore(ctx, t, opts)
+}
+
+// ExploreSource is Explore over any TraceOpener — an in-memory *Trace or
+// an on-disk *TraceFile: every candidate replays its own streaming pass,
+// so exploring a long binary capture never materializes the events. It is
+// the convenience form of Engine.ExploreSource.
+func ExploreSource(ctx context.Context, t TraceOpener, opts ExploreOpts) ([]Candidate, error) {
+	return core.NewEngine(0).ExploreSource(ctx, t, opts)
 }
 
 // SpaceSize returns the number of valid decision vectors (~144k), cached
@@ -302,10 +369,13 @@ func BestByFootprint(cands []Candidate) (Candidate, bool) { return core.BestByFo
 func NewTraceBuilder(name string) *TraceBuilder { return trace.NewBuilder(name) }
 
 // LoadTrace reads a trace file written by the dmmtrace tool or the
-// Encode methods, accepting both the binary and the JSON format. When the
-// file parses as neither, the returned error carries both decoders'
-// failures (a corrupt binary trace would otherwise surface only as a
-// misleading JSON syntax error).
+// Encode methods, accepting the binary formats (DMMT1 and DMMT2) and the
+// JSON format, and validates the result (frees must match live
+// allocations, sizes must be positive), so a corrupt or hand-damaged file
+// fails at load instead of mid-replay. When the file parses as neither
+// format, the returned error carries both decoders' failures (a corrupt
+// binary trace would otherwise surface only as a misleading JSON syntax
+// error).
 func LoadTrace(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -314,6 +384,9 @@ func LoadTrace(path string) (*Trace, error) {
 	defer f.Close()
 	t, binErr := trace.DecodeBinary(f)
 	if binErr == nil {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
 		return t, nil
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
@@ -321,6 +394,9 @@ func LoadTrace(path string) (*Trace, error) {
 	}
 	t, jsonErr := trace.DecodeJSON(f)
 	if jsonErr == nil {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
 		return t, nil
 	}
 	return nil, fmt.Errorf("dmmkit: %s is neither a binary nor a JSON trace: %w",

@@ -44,7 +44,21 @@ func NewEngine(parallelism int) *Engine { return &Engine{Parallelism: parallelis
 // last — byte-identical to a sequential run. Cancelling ctx stops
 // evaluation early and returns the contiguous prefix of candidates already
 // streamed, together with the context's error.
+//
+// Explore is the in-memory form of ExploreSource; the two produce
+// identical candidates for the same logical trace.
 func (e *Engine) Explore(ctx context.Context, tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
+	return e.ExploreSource(ctx, tr, opts)
+}
+
+// ExploreSource explores the design space against any trace.Opener — an
+// in-memory *trace.Trace or an on-disk *trace.File. Every candidate opens
+// its own streaming pass over the trace (concurrently, one per worker),
+// so exploring a multi-hour binary capture needs memory proportional to
+// the application's live set per worker, never the trace length. The
+// methodology's profile is computed from one extra streaming pass before
+// exploration starts.
+func (e *Engine) ExploreSource(ctx context.Context, tr trace.Opener, opts ExploreOpts) ([]Candidate, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -70,7 +84,18 @@ func (e *Engine) Explore(ctx context.Context, tr *trace.Trace, opts ExploreOpts)
 		strat = search.NewExhaustive(opts.MaxCandidates)
 	}
 
-	prof := profile.FromTrace(tr)
+	src, err := tr.Open()
+	if err != nil {
+		return nil, fmt.Errorf("core: opening trace: %w", err)
+	}
+	prof, err := profile.FromSource(src)
+	if err != nil {
+		trace.Close(src)
+		return nil, fmt.Errorf("core: profiling trace: %w", err)
+	}
+	if err := trace.Close(src); err != nil {
+		return nil, fmt.Errorf("core: closing trace: %w", err)
+	}
 	tr2 := traitsOf(prof)
 
 	var out []Candidate

@@ -159,14 +159,22 @@ func Explore(tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
 	return (&Engine{}).Explore(context.Background(), tr, opts)
 }
 
-func evaluate(ctx context.Context, v dspace.Vector, par Params, tr *trace.Trace, designed bool) Candidate {
+// evaluate builds the candidate manager and replays one streaming pass
+// over the trace against it. Openers hand out independent sources, so
+// evaluations run concurrently without sharing replay state.
+func evaluate(ctx context.Context, v dspace.Vector, par Params, tr trace.Opener, designed bool) Candidate {
 	c := Candidate{Vector: v, Params: par, Designed: designed}
 	m, err := NewCustom(heap.New(heap.Config{}), v, par)
 	if err != nil {
 		c.Err = fmt.Errorf("core: building candidate: %w", err)
 		return c
 	}
-	res, err := trace.Run(ctx, m, tr, trace.RunOpts{})
+	src, err := tr.Open()
+	if err != nil {
+		c.Err = fmt.Errorf("core: opening trace for candidate: %w", err)
+		return c
+	}
+	res, err := trace.RunSource(ctx, m, src, trace.RunOpts{})
 	if err != nil {
 		c.Err = fmt.Errorf("core: replaying candidate: %w", err)
 		return c

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmmkit/internal/trace"
+)
+
+// TestExploreSourceFileMatchesInMemory pins the out-of-core exploration
+// path: exploring the DMMT2-encoded file of a trace must yield the exact
+// candidate set (vectors, footprints, work, order, designed point) of
+// exploring the in-memory trace — at parallelism, where every worker
+// streams its own pass off the file.
+func TestExploreSourceFileMatchesInMemory(t *testing.T) {
+	tr := exploreTrace()
+	path := filepath.Join(t.TempDir(), "explore.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := errors.Join(tr.EncodeBinary2(f), f.Close()); err != nil {
+		t.Fatal(err)
+	}
+	file, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := ExploreOpts{MaxCandidates: 16, IncludeDesigned: true, Parallelism: 4}
+	inMem, err := NewEngine(0).Explore(context.Background(), tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := NewEngine(0).ExploreSource(context.Background(), file, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inMem) != len(streamed) {
+		t.Fatalf("in-memory %d candidates, streamed %d", len(inMem), len(streamed))
+	}
+	ik, sk := keysOf(inMem), keysOf(streamed)
+	for i := range ik {
+		if ik[i] != sk[i] {
+			t.Errorf("candidate %d diverges:\n  in-mem   %+v\n  streamed %+v", i, ik[i], sk[i])
+		}
+	}
+}
+
+// TestExploreSourceOpenFailure verifies a dead opener fails the
+// exploration up front (the profiling pass) instead of per candidate.
+func TestExploreSourceOpenFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gone.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := errors.Join(exploreTrace().EncodeBinary2(f), f.Close()); err != nil {
+		t.Fatal(err)
+	}
+	file, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(0).ExploreSource(context.Background(), file, ExploreOpts{MaxCandidates: 4}); err == nil {
+		t.Error("exploring a removed file succeeded")
+	}
+}

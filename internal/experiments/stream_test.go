@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
+	"dmmkit/internal/trace"
+)
+
+// TestStreamingReplayMatchesInMemory is the acceptance differential:
+// for every registered workload and every registered manager family,
+// replaying the DMMT2-encoded stream must produce exactly the footprint,
+// work, manager stats and heap system stats of the in-memory replay.
+func TestStreamingReplayMatchesInMemory(t *testing.T) {
+	ctx := context.Background()
+	for _, w := range registry.Workloads() {
+		tr, err := registry.BuildWorkload(w, registry.WorkloadOpts{Seed: 1, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.EncodeBinary2(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", w, err)
+		}
+		prof := profile.FromTrace(tr)
+		for _, m := range registry.Managers() {
+			h1 := heap.New(heap.Config{})
+			m1, err := registry.NewManager(m, h1, prof)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, m, err)
+			}
+			inMem, err := trace.Run(ctx, m1, tr, trace.RunOpts{})
+			if err != nil {
+				t.Fatalf("%s/%s: in-memory replay: %v", w, m, err)
+			}
+
+			src, err := trace.DecodeBinarySource(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, m, err)
+			}
+			h2 := heap.New(heap.Config{})
+			m2, err := registry.NewManager(m, h2, prof)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, m, err)
+			}
+			streamed, err := trace.RunSource(ctx, m2, src, trace.RunOpts{})
+			if err != nil {
+				t.Fatalf("%s/%s: streaming replay: %v", w, m, err)
+			}
+
+			if !reflect.DeepEqual(inMem, streamed) {
+				t.Errorf("%s/%s: streaming replay diverged\nin-mem:   %+v\nstreamed: %+v", w, m, inMem, streamed)
+			}
+			if h1.SysStats() != h2.SysStats() {
+				t.Errorf("%s/%s: heap SysStats diverged: %+v vs %+v", w, m, h1.SysStats(), h2.SysStats())
+			}
+		}
+	}
+}
+
+// TestStreamWorkloadGenerationMatches checks the write side: generating
+// a workload into a sink yields exactly the events of the materialized
+// build, and the returned summary trace carries no events.
+func TestStreamWorkloadGenerationMatches(t *testing.T) {
+	type collector struct {
+		trace.StatsSink
+		events []trace.Event
+	}
+	for _, w := range registry.Workloads() {
+		tr, err := registry.BuildWorkload(w, registry.WorkloadOpts{Seed: 2, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		c := &collector{}
+		c.Sink = sinkFunc(func(e trace.Event) error {
+			c.events = append(c.events, e)
+			return nil
+		})
+		summary, err := registry.BuildWorkload(w, registry.WorkloadOpts{Seed: 2, Quick: true, Sink: &c.StatsSink})
+		if err != nil {
+			t.Fatalf("%s: streaming build: %v", w, err)
+		}
+		if len(summary.Events) != 0 {
+			t.Errorf("%s: streaming build materialized %d events", w, len(summary.Events))
+		}
+		if summary.Name != tr.Name {
+			t.Errorf("%s: names differ: %q vs %q", w, summary.Name, tr.Name)
+		}
+		if !reflect.DeepEqual(c.events, tr.Events) {
+			t.Errorf("%s: streamed events differ from materialized build", w)
+		}
+		if c.StatsSink.Events() != len(tr.Events) || c.StatsSink.MaxLiveBytes() != tr.MaxLiveBytes() {
+			t.Errorf("%s: sink summary (%d events, %d peak) disagrees with trace (%d, %d)",
+				w, c.StatsSink.Events(), c.StatsSink.MaxLiveBytes(), len(tr.Events), tr.MaxLiveBytes())
+		}
+	}
+}
+
+// sinkFunc adapts a function to an EventSink with a no-op Begin.
+type sinkFunc func(trace.Event) error
+
+func (sinkFunc) Begin(string) error               { return nil }
+func (f sinkFunc) WriteEvent(e trace.Event) error { return f(e) }
+
+// TestRunStreamQuick exercises the measurement end to end in quick mode;
+// RunStream itself errors if the two replay paths disagree.
+func TestRunStreamQuick(t *testing.T) {
+	res, err := RunStream(context.Background(), Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 || len(res.Rows) != len(streamManagers) {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	if res.FileBytes <= 0 || res.EventBytes <= res.FileBytes {
+		t.Errorf("sizes look wrong: file %d, events %d", res.FileBytes, res.EventBytes)
+	}
+	var out bytes.Buffer
+	if err := WriteStream(&out, res); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("empty report")
+	}
+}

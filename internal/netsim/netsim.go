@@ -18,9 +18,9 @@ type Config struct {
 	RateMbps float64 // average offered load (default 10)
 	Flows    int     // number of flows (default 16)
 	PhaseMs  float64 // duration of one traffic-mix phase (default 500)
-	Phases   int     // number of phases (default 8)
-	OnMs     float64 // mean burst (ON) duration (default 100)
-	OffMs    float64 // mean silence (OFF) duration (default 100)
+	Phases   int     // number of phases (default 6)
+	OnMs     float64 // mean burst (ON) duration (default 40)
+	OffMs    float64 // mean silence (OFF) duration (default 40)
 }
 
 func (c *Config) defaults() {

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -66,7 +67,18 @@ type PhaseProfile struct {
 
 // FromTrace computes the full profile of a trace.
 func FromTrace(t *trace.Trace) *Profile {
-	p := &Profile{Name: t.Name, Events: len(t.Events), TagMax: make(map[int]int64)}
+	// The in-memory source never fails.
+	p, _ := FromSource(t.Source())
+	return p
+}
+
+// FromSource computes the full profile of an event stream in one pass,
+// without materializing the trace: FromSource(t.Source()) is identical
+// to FromTrace(t). Memory is dominated by the live-allocation table
+// (O(live set)) and the lifetime sample buffer (one int64 per free, for
+// the exact P95 the methodology's heuristics use).
+func FromSource(src trace.Source) (*Profile, error) {
+	p := &Profile{Name: src.Name(), TagMax: make(map[int]int64)}
 
 	type liveInfo struct {
 		size    int64
@@ -98,7 +110,15 @@ func FromTrace(t *trace.Trace) *Profile {
 		return pa
 	}
 
-	for i, e := range t.Events {
+	for i := 0; ; i++ {
+		e, ok, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("profile: event %d: %w", i, err)
+		}
+		if !ok {
+			break
+		}
+		p.Events++
 		pa := phaseOf(e.Phase)
 		pa.events++
 		switch e.Kind {
@@ -198,7 +218,7 @@ func FromTrace(t *trace.Trace) *Profile {
 	for _, id := range ids {
 		p.Phases = append(p.Phases, phases[id].finish())
 	}
-	return p
+	return p, nil
 }
 
 // phaseAcc accumulates one phase's statistics.

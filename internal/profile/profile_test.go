@@ -1,6 +1,8 @@
 package profile
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"dmmkit/internal/trace"
@@ -164,5 +166,59 @@ func TestPerSizeMaxLive(t *testing.T) {
 	}
 	if p.Sizes[0].Count != 3 {
 		t.Errorf("Count = %d, want 3", p.Sizes[0].Count)
+	}
+}
+
+// TestFromSourceMatchesFromTrace pins the streaming profiler to the
+// in-memory one: profiling a trace decoded event-by-event off its binary
+// encoding must reproduce every field.
+func TestFromSourceMatchesFromTrace(t *testing.T) {
+	b := trace.NewBuilder("differential")
+	var ids []int64
+	for i := 0; i < 400; i++ {
+		b.SetPhase(i / 100)
+		ids = append(ids, b.Alloc(int64(16+i%7*24), i%3))
+		if i%2 == 1 {
+			b.Free(ids[0])
+			ids = ids[1:]
+		}
+		if i%5 == 0 {
+			b.Tick()
+		}
+	}
+	tr := b.Build()
+
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.DecodeBinarySource(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := FromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(FromTrace(tr), streamed) {
+		t.Error("streaming profile differs from in-memory profile")
+	}
+}
+
+// TestFromSourceReportsDecodeError surfaces stream corruption as a
+// profiling error instead of a silent partial profile.
+func TestFromSourceReportsDecodeError(t *testing.T) {
+	b := trace.NewBuilder("x")
+	b.Free(b.Alloc(10, 0))
+	var buf bytes.Buffer
+	if err := b.Build().EncodeBinary2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.DecodeBinarySource(bytes.NewReader(buf.Bytes()[:buf.Len()-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromSource(src); err == nil {
+		t.Error("profiling a truncated stream succeeded")
 	}
 }

@@ -26,6 +26,13 @@ type WorkloadOpts struct {
 	// Quick requests the reduced configuration used by tests, benchmarks
 	// and smoke runs.
 	Quick bool
+	// Sink, when non-nil, receives the events as they are generated
+	// instead of materializing them: the returned trace then carries
+	// only the name and the event slice is never built (generators may
+	// still keep simulation state of their own). Wrap a trace.Encoder in
+	// a trace.StatsSink to pipe a workload straight to disk while
+	// keeping the summary numbers.
+	Sink trace.EventSink
 }
 
 // WorkloadCtor generates one allocation trace of a case study.

@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// DecodeBinarySource returns a Source that decodes a binary trace (DMMT1
+// or DMMT2) from r event by event. The header is read eagerly — a file
+// that is not a binary trace fails here, not on the first Next — and
+// decoding then keeps O(1) memory beyond the read buffer, so replaying
+// straight off the source needs memory proportional to the application's
+// live set, not the trace length.
+//
+// The source validates events as it decodes them: ID and Size uvarints
+// above MaxInt64 (which would wrap to negative fields), zero allocation
+// sizes, and out-of-range Tag/Phase values are decode errors. It cannot
+// check cross-event properties (double frees surface as replay errors);
+// callers that need a full Trace.Validate must materialize via
+// DecodeBinary.
+func DecodeBinarySource(r io.Reader) (Source, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, magicLen)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	version := 0
+	switch string(magic) {
+	case binaryMagic1:
+		version = 1
+	case binaryMagic2:
+		version = 2
+	default:
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("trace: name length %d too large", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if version == 1 {
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event count: %w", err)
+		}
+		if count > maxEventCount {
+			return nil, fmt.Errorf("trace: event count %d too large", count)
+		}
+		return &binarySource1{binarySource: binarySource{br: br, name: string(name)}, count: count}, nil
+	}
+	return &binarySource2{binarySource: binarySource{br: br, name: string(name)}}, nil
+}
+
+// binarySource holds the state the two format versions share.
+type binarySource struct {
+	br   *bufio.Reader
+	name string
+	i    uint64 // events decoded so far
+	last int64  // previous event's tick
+	done bool
+	err  error     // latched: a corrupt stream stays corrupt
+	c    io.Closer // closed when the stream ends (see OpenFile)
+}
+
+func (s *binarySource) Name() string { return s.name }
+
+// finish latches the terminal state and releases the underlying closer.
+func (s *binarySource) finish(err error) (Event, bool, error) {
+	s.done = true
+	if err != nil {
+		s.err = err
+	}
+	if s.c != nil {
+		c := s.c
+		s.c = nil
+		if cerr := c.Close(); cerr != nil && s.err == nil {
+			s.err = cerr
+		}
+	}
+	return Event{}, false, s.err
+}
+
+// Close releases the source's file handle, if it has one; abandoning a
+// partially consumed source without Close leaks the handle. Idempotent.
+func (s *binarySource) Close() error {
+	s.done = true
+	if s.c != nil {
+		c := s.c
+		s.c = nil
+		return c.Close()
+	}
+	return nil
+}
+
+// binarySource1 streams a DMMT1 body: the event count is known from the
+// header (so it implements Sized) and every field is an unsigned varint.
+// Negative Tag/Phase values arrive sign-extended to 64 bits; the decoder
+// accepts exactly the values the encoder can produce — plain int32 range
+// or full sign extension — and rejects anything that would silently
+// truncate.
+type binarySource1 struct {
+	binarySource
+	count uint64
+}
+
+func (s *binarySource1) EventCount() int { return int(s.count) }
+
+func (s *binarySource1) Next() (Event, bool, error) {
+	if s.done {
+		return Event{}, false, s.err
+	}
+	if s.i >= s.count {
+		return s.finish(nil)
+	}
+	kb, err := s.br.ReadByte()
+	if err != nil {
+		return s.finish(fmt.Errorf("trace: event %d: %w", s.i, err))
+	}
+	e := Event{Kind: Kind(kb)}
+	if e.Kind != KindAlloc && e.Kind != KindFree {
+		return s.finish(fmt.Errorf("trace: event %d: bad kind %d", s.i, kb))
+	}
+	id, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return s.finish(err)
+	}
+	if e.ID, err = checkID(s.i, id); err != nil {
+		return s.finish(err)
+	}
+	if e.Kind == KindAlloc {
+		size, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return s.finish(err)
+		}
+		if e.Size, err = checkSize(s.i, size); err != nil {
+			return s.finish(err)
+		}
+		tag, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return s.finish(err)
+		}
+		if e.Tag, err = checkWrapped32(s.i, "tag", tag); err != nil {
+			return s.finish(err)
+		}
+	}
+	phase, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return s.finish(err)
+	}
+	if e.Phase, err = checkWrapped32(s.i, "phase", phase); err != nil {
+		return s.finish(err)
+	}
+	dt, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return s.finish(err)
+	}
+	// Tick deltas wrap through two's complement in DMMT1, so a backward
+	// tick (encoded as a huge uvarint) decodes back to a negative delta.
+	e.Tick = s.last + int64(dt)
+	s.last = e.Tick
+	s.i++
+	return e, true, nil
+}
+
+// checkWrapped32 decodes a DMMT1 int32 field: the encoder widened the
+// value with sign extension, so valid encodings are exactly those where
+// truncating back to int32 and re-extending reproduces the input.
+func checkWrapped32(i uint64, field string, v uint64) (int32, error) {
+	if uint64(int64(int32(v))) != v {
+		return 0, fmt.Errorf("trace: event %d: %s %d overflows int32", i, field, v)
+	}
+	return int32(v), nil
+}
+
+// binarySource2 streams a DMMT2 body: no up-front count, zigzag varints
+// for the signed fields, and a 0xFF end marker followed by the event
+// count, which must match what was decoded (truncation check).
+type binarySource2 struct {
+	binarySource
+}
+
+func (s *binarySource2) Next() (Event, bool, error) {
+	if s.done {
+		return Event{}, false, s.err
+	}
+	kb, err := s.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("trace: event %d: truncated stream (missing end marker): %w", s.i, io.ErrUnexpectedEOF)
+		}
+		return s.finish(fmt.Errorf("trace: event %d: %w", s.i, err))
+	}
+	if kb == endMarker {
+		count, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return s.finish(fmt.Errorf("trace: reading trailer count: %w", err))
+		}
+		if count != s.i {
+			return s.finish(fmt.Errorf("trace: trailer count %d, decoded %d events (truncated or corrupt stream)", count, s.i))
+		}
+		return s.finish(nil)
+	}
+	e := Event{Kind: Kind(kb)}
+	if e.Kind != KindAlloc && e.Kind != KindFree {
+		return s.finish(fmt.Errorf("trace: event %d: bad kind %d", s.i, kb))
+	}
+	id, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return s.finish(err)
+	}
+	if e.ID, err = checkID(s.i, id); err != nil {
+		return s.finish(err)
+	}
+	if e.Kind == KindAlloc {
+		size, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return s.finish(err)
+		}
+		if e.Size, err = checkSize(s.i, size); err != nil {
+			return s.finish(err)
+		}
+		tag, err := binary.ReadVarint(s.br)
+		if err != nil {
+			return s.finish(err)
+		}
+		if e.Tag, err = checkInt32(s.i, "tag", tag); err != nil {
+			return s.finish(err)
+		}
+	}
+	phase, err := binary.ReadVarint(s.br)
+	if err != nil {
+		return s.finish(err)
+	}
+	if e.Phase, err = checkInt32(s.i, "phase", phase); err != nil {
+		return s.finish(err)
+	}
+	dt, err := binary.ReadVarint(s.br)
+	if err != nil {
+		return s.finish(err)
+	}
+	e.Tick = s.last + dt
+	s.last = e.Tick
+	s.i++
+	return e, true, nil
+}
+
+// checkInt32 range-checks a zigzag-decoded int32 field.
+func checkInt32(i uint64, field string, v int64) (int32, error) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("trace: event %d: %s %d overflows int32", i, field, v)
+	}
+	return int32(v), nil
+}
+
+// File is an Opener over an on-disk binary trace: every Open starts an
+// independent streaming pass, so exploration can replay the file once
+// per candidate — concurrently — without ever materializing the events.
+type File struct {
+	path   string
+	name   string
+	events int // -1 when the format does not record a count (DMMT2)
+}
+
+// OpenFile probes path's header and returns a File. The file must be a
+// binary trace (DMMT1 or DMMT2); JSON traces have no streaming decoder —
+// load them fully instead.
+func OpenFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	src, err := DecodeBinarySource(fh)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	f := &File{path: path, name: src.Name(), events: -1}
+	if s, ok := src.(Sized); ok {
+		f.events = s.EventCount()
+	}
+	return f, nil
+}
+
+// Name returns the trace name recorded in the file header.
+func (f *File) Name() string { return f.name }
+
+// Events returns the event count from the header, or -1 when the format
+// does not record one up front (DMMT2 stores it in the trailer).
+func (f *File) Events() int { return f.events }
+
+// Open implements Opener: it opens a fresh handle on the file and
+// returns a streaming source over it. The source closes the handle when
+// the stream ends (exhaustion or decode error); abandon it early with
+// Close. Open is safe for concurrent use.
+func (f *File) Open() (Source, error) {
+	fh, err := os.Open(f.path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := DecodeBinarySource(fh)
+	if err != nil {
+		fh.Close()
+		return nil, fmt.Errorf("trace: %s: %w", f.path, err)
+	}
+	switch s := src.(type) {
+	case *binarySource1:
+		s.c = fh
+	case *binarySource2:
+		s.c = fh
+	}
+	return src, nil
+}

@@ -1,10 +1,37 @@
 // Package trace defines allocation traces — the interface between the
 // dynamic applications and the DM managers — together with binary/JSON
-// codecs and a replay engine.
+// codecs, a streaming event-source abstraction and a replay engine.
 //
 // The paper's methodology starts by profiling an application's dynamic
 // memory behaviour; here workloads emit traces, profiles are computed from
 // traces (internal/profile), and the same trace replays against every
 // manager so comparisons are exact (the paper averages 10 input traces per
 // case study; the experiment harness does the same with 10 seeds).
+//
+// # Streaming
+//
+// Every consumer of events goes through Source (Next, one event at a
+// time) rather than a materialized []Event, so traces far larger than
+// memory process out-of-core: replay (RunSource) and profiling keep
+// memory proportional to the application's live set, not the trace
+// length. Opener hands out independent passes — an in-memory *Trace, or
+// a *File streaming a binary trace off disk per pass — which is what
+// design-space exploration consumes, one pass per candidate. On the
+// write side, EventSink is the dual: a Builder with a sink (NewBuilderTo)
+// streams generated events out instead of accumulating them, and the
+// DMMT2 Encoder is such a sink, so generation pipes to disk in O(1)
+// memory.
+//
+// # Binary formats
+//
+// Two on-disk formats share a header (magic, name) and are read back
+// transparently by DecodeBinary and DecodeBinarySource. DMMT1 is the
+// legacy format: an event count in the header and every field as an
+// unsigned varint, so signed values round-trip only via two's-complement
+// wraparound at ten bytes each. DMMT2 zigzag-encodes the signed fields
+// (Tag, Phase, tick deltas), drops the up-front count — which is what
+// makes it streamable — and ends with a marker plus trailing count that
+// detects truncation. Both decoders reject fields that would silently
+// wrap or truncate (IDs and sizes above MaxInt64, zero allocation sizes,
+// out-of-range tags/phases).
 package trace

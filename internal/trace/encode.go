@@ -8,14 +8,43 @@ import (
 	"io"
 )
 
-// Binary format: magic, name, event count, then per event a kind byte and
-// varint-encoded fields (deltas for tick to keep traces compact).
-const binaryMagic = "DMMT1\n"
+// Two binary trace formats share the header layout (magic, then the
+// uvarint-prefixed name) and differ in the event encoding:
+//
+//   - DMMT1 writes the event count after the name and encodes every field
+//     as an unsigned varint. Signed values (negative Tag/Phase, backward
+//     Tick deltas) only survive through two's-complement wraparound and
+//     cost 10 bytes each.
+//   - DMMT2 (see Encoder) has no up-front count — it is streamable — and
+//     zigzag-encodes the signed fields (Tag, Phase, tick deltas). The
+//     stream ends with a 0xFF marker byte followed by the event count,
+//     which doubles as a truncation check.
+//
+// DecodeBinary and DecodeBinarySource read both formats transparently.
+const (
+	binaryMagic1 = "DMMT1\n"
+	binaryMagic2 = "DMMT2\n"
+	magicLen     = len(binaryMagic1)
 
-// EncodeBinary writes the trace in the compact binary format.
+	// endMarker terminates a DMMT2 event stream. It can never start an
+	// event: events start with a Kind byte, and kinds are 0 or 1.
+	endMarker = 0xFF
+
+	// maxNameLen bounds the header's name field against crafted input.
+	maxNameLen = 1 << 16
+	// maxEventCount bounds the DMMT1 header count against crafted input,
+	// and maxPrealloc bounds what DecodeBinary preallocates from it (a
+	// forged count must not reserve gigabytes before the first event).
+	maxEventCount = 1 << 30
+	maxPrealloc   = 1 << 20
+)
+
+// EncodeBinary writes the trace in the legacy DMMT1 binary format.
+// EncodeBinary2 writes the more compact, streamable DMMT2 format; both
+// are read back by DecodeBinary and DecodeBinarySource.
 func (t *Trace) EncodeBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
+	if _, err := bw.WriteString(binaryMagic1); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -60,75 +89,27 @@ func (t *Trace) EncodeBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// DecodeBinary reads a trace written by EncodeBinary.
+// DecodeBinary reads a whole binary trace (either format) into memory.
+// For out-of-core replay of large traces use DecodeBinarySource instead.
 func DecodeBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	nameLen, err := binary.ReadUvarint(br)
+	src, err := DecodeBinarySource(r)
 	if err != nil {
 		return nil, err
 	}
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("trace: name length %d too large", nameLen)
+	t := &Trace{Name: src.Name()}
+	if s, ok := src.(Sized); ok {
+		t.Events = make([]Event, 0, min(s.EventCount(), maxPrealloc))
 	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if count > 1<<30 {
-		return nil, fmt.Errorf("trace: event count %d too large", count)
-	}
-	t := &Trace{Name: string(name), Events: make([]Event, 0, count)}
-	var lastTick int64
-	for i := uint64(0); i < count; i++ {
-		kb, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
-		}
-		e := Event{Kind: Kind(kb)}
-		if e.Kind != KindAlloc && e.Kind != KindFree {
-			return nil, fmt.Errorf("trace: event %d: bad kind %d", i, kb)
-		}
-		id, err := binary.ReadUvarint(br)
+	for {
+		e, ok, err := src.Next()
 		if err != nil {
 			return nil, err
 		}
-		e.ID = int64(id)
-		if e.Kind == KindAlloc {
-			size, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			tag, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			e.Size, e.Tag = int64(size), int32(tag)
+		if !ok {
+			return t, nil
 		}
-		phase, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		dt, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		e.Phase = int32(phase)
-		e.Tick = lastTick + int64(dt)
-		lastTick = e.Tick
 		t.Events = append(t.Events, e)
 	}
-	return t, nil
 }
 
 // EncodeJSON writes the trace as indented JSON (for inspection and
@@ -146,4 +127,26 @@ func DecodeJSON(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	return &t, nil
+}
+
+// checkID validates a decoded ID uvarint: values above MaxInt64 would
+// silently wrap to a negative Event.ID.
+func checkID(i uint64, v uint64) (int64, error) {
+	if v > 1<<63-1 {
+		return 0, fmt.Errorf("trace: event %d: id %d overflows int64", i, v)
+	}
+	return int64(v), nil
+}
+
+// checkSize validates a decoded Size uvarint: values above MaxInt64 wrap
+// negative, and zero-size allocations are invalid in any trace (Validate
+// rejects them), so a streaming replay can trust decoded events.
+func checkSize(i uint64, v uint64) (int64, error) {
+	if v > 1<<63-1 {
+		return 0, fmt.Errorf("trace: event %d: size %d overflows int64", i, v)
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("trace: event %d: alloc size 0", i)
+	}
+	return int64(v), nil
 }

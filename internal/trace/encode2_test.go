@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// encoders maps the format under test to its whole-trace encode call.
+var encoders = map[string]func(*Trace, *bytes.Buffer) error{
+	"DMMT1": func(t *Trace, buf *bytes.Buffer) error { return t.EncodeBinary(buf) },
+	"DMMT2": func(t *Trace, buf *bytes.Buffer) error { return t.EncodeBinary2(buf) },
+}
+
+func TestBinary2RoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary2(&buf); err != nil {
+		t.Fatalf("EncodeBinary2: %v", err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("DMMT2 round trip mismatch:\nin:  %+v\nout: %+v", tr.Events[:3], got.Events[:3])
+	}
+}
+
+// signedTrace exercises the signed-field corners: negative tags and
+// phases, and ticks that jump backwards (non-monotonic), which DMMT1 can
+// only represent through two's-complement wraparound.
+func signedTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: "signed"}
+	var tick int64
+	var live []int64
+	var next int64
+	for i := 0; i < 500; i++ {
+		tick += rng.Int63n(7) - 3 // backward jumps included
+		tag := int32(rng.Intn(9) - 4)
+		phase := int32(rng.Intn(5) - 2)
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			tr.Events = append(tr.Events, Event{
+				Kind: KindAlloc, ID: next, Size: rng.Int63n(4096) + 1,
+				Tag: tag, Phase: phase, Tick: tick,
+			})
+			live = append(live, next)
+			next++
+		} else {
+			j := rng.Intn(len(live))
+			tr.Events = append(tr.Events, Event{Kind: KindFree, ID: live[j], Phase: phase, Tick: tick})
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	return tr
+}
+
+func TestRoundTripSignedFields(t *testing.T) {
+	for name, encode := range encoders {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				tr := signedTrace(seed)
+				var buf bytes.Buffer
+				if err := encode(tr, &buf); err != nil {
+					t.Fatalf("seed %d: encode: %v", seed, err)
+				}
+				got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("seed %d: decode: %v", seed, err)
+				}
+				if !reflect.DeepEqual(tr, got) {
+					t.Fatalf("seed %d: round trip mismatch", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestSignedFieldsCheaperInDMMT2 pins the format's reason to exist: the
+// same signed-heavy trace costs materially fewer bytes zigzag-encoded
+// than sign-extended to ten-byte uvarints.
+func TestSignedFieldsCheaperInDMMT2(t *testing.T) {
+	tr := signedTrace(1)
+	var v1, v2 bytes.Buffer
+	if err := tr.EncodeBinary(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeBinary2(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Errorf("DMMT2 = %d bytes, DMMT1 = %d: zigzag encoding should shrink signed-heavy traces", v2.Len(), v1.Len())
+	}
+	// Roughly: DMMT1 spends 10 bytes per negative varint, DMMT2 one or
+	// two; a half-negative trace should compress well below 60%.
+	if ratio := float64(v2.Len()) / float64(v1.Len()); ratio > 0.6 {
+		t.Errorf("DMMT2/DMMT1 size ratio %.2f, want <= 0.6", ratio)
+	}
+}
+
+// TestDMMT1ToDMMT2Compat migrates a legacy file to the new format and
+// back, checking every representation agrees — the upgrade path for
+// traces captured before DMMT2.
+func TestDMMT1ToDMMT2Compat(t *testing.T) {
+	for _, tr := range []*Trace{sampleTrace(), signedTrace(3)} {
+		var v1 bytes.Buffer
+		if err := tr.EncodeBinary(&v1); err != nil {
+			t.Fatal(err)
+		}
+		fromV1, err := DecodeBinary(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding DMMT1: %v", err)
+		}
+		var v2 bytes.Buffer
+		if err := fromV1.EncodeBinary2(&v2); err != nil {
+			t.Fatalf("re-encoding as DMMT2: %v", err)
+		}
+		fromV2, err := DecodeBinary(bytes.NewReader(v2.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding migrated DMMT2: %v", err)
+		}
+		if !reflect.DeepEqual(tr, fromV1) || !reflect.DeepEqual(fromV1, fromV2) {
+			t.Errorf("trace %q: DMMT1 -> DMMT2 migration changed the events", tr.Name)
+		}
+	}
+}
+
+// header writes a format header for hand-crafted decode inputs.
+func header(t *testing.T, magic, name string, extra ...uint64) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(uint64(len(name)))
+	buf.WriteString(name)
+	for _, v := range extra {
+		put(v)
+	}
+	return &buf
+}
+
+func TestDecodeRejectsOverflow(t *testing.T) {
+	put := func(buf *bytes.Buffer, v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	cases := []struct {
+		name string
+		buf  func() *bytes.Buffer
+		want string
+	}{
+		{"v1 id overflow", func() *bytes.Buffer {
+			b := header(t, binaryMagic1, "x", 1)
+			b.WriteByte(byte(KindFree))
+			put(b, 1<<63) // wraps to a negative ID if accepted
+			return b
+		}, "overflows int64"},
+		{"v1 size overflow", func() *bytes.Buffer {
+			b := header(t, binaryMagic1, "x", 1)
+			b.WriteByte(byte(KindAlloc))
+			put(b, 0)
+			put(b, 1<<63)
+			return b
+		}, "overflows int64"},
+		{"v1 size zero", func() *bytes.Buffer {
+			b := header(t, binaryMagic1, "x", 1)
+			b.WriteByte(byte(KindAlloc))
+			put(b, 0)
+			put(b, 0)
+			return b
+		}, "alloc size 0"},
+		{"v1 tag truncation", func() *bytes.Buffer {
+			b := header(t, binaryMagic1, "x", 1)
+			b.WriteByte(byte(KindAlloc))
+			put(b, 0)
+			put(b, 8)
+			put(b, 1<<40) // neither int32 range nor a sign extension
+			return b
+		}, "overflows int32"},
+		{"v2 id overflow", func() *bytes.Buffer {
+			b := header(t, binaryMagic2, "x")
+			b.WriteByte(byte(KindFree))
+			put(b, 1<<63)
+			return b
+		}, "overflows int64"},
+		{"v2 size zero", func() *bytes.Buffer {
+			b := header(t, binaryMagic2, "x")
+			b.WriteByte(byte(KindAlloc))
+			put(b, 0)
+			put(b, 0)
+			return b
+		}, "alloc size 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeBinary(tc.buf())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("DecodeBinary = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBinary2RejectsTruncation(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix long enough to pass the header must fail: the
+	// end marker (or its trailer count) is missing or the count is short.
+	for _, cut := range []int{1, 2, 5, len(full) / 2} {
+		if _, err := DecodeBinary(bytes.NewReader(full[:len(full)-cut])); err == nil {
+			t.Errorf("truncated by %d bytes: decoded without error", cut)
+		}
+	}
+	// A lying trailer count must fail too.
+	forged := append([]byte(nil), full[:len(full)-1]...)
+	forged = append(forged, 99) // trailer says 99 events
+	if _, err := DecodeBinary(bytes.NewReader(forged)); err == nil ||
+		!strings.Contains(err.Error(), "trailer count") {
+		t.Errorf("forged trailer count: err = %v, want trailer count mismatch", err)
+	}
+}
+
+func TestEncoderMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.WriteEvent(Event{Kind: KindAlloc, Size: 1}); err == nil {
+		t.Error("WriteEvent before Begin succeeded")
+	}
+	if err := enc.Begin("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Begin("x"); err == nil {
+		t.Error("second Begin succeeded")
+	}
+	if err := enc.WriteEvent(Event{Kind: KindAlloc, ID: -1, Size: 1}); err == nil {
+		t.Error("negative ID encoded")
+	}
+	if err := enc.WriteEvent(Event{Kind: KindAlloc, ID: 0, Size: 0}); err == nil {
+		t.Error("zero-size alloc encoded")
+	}
+	if err := enc.WriteEvent(Event{Kind: 7, ID: 0}); err == nil {
+		t.Error("bad kind encoded")
+	}
+	if err := enc.WriteEvent(Event{Kind: KindAlloc, ID: 0, Size: 8}); err != nil {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := enc.WriteEvent(Event{Kind: KindFree, ID: 0}); err == nil {
+		t.Error("WriteEvent after Close succeeded")
+	}
+	got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decoding encoder output: %v", err)
+	}
+	if len(got.Events) != 1 || enc.Count() != 1 {
+		t.Errorf("decoded %d events, Count() = %d, want 1 and 1", len(got.Events), enc.Count())
+	}
+}
+
+// TestDecodeBinaryCapsPrealloc guards against a forged DMMT1 header
+// reserving gigabytes: a huge (but in-range) count with no events must
+// fail on EOF without a giant allocation.
+func TestDecodeBinaryCapsPrealloc(t *testing.T) {
+	b := header(t, binaryMagic1, "bomb", maxEventCount)
+	if _, err := DecodeBinary(b); err == nil {
+		t.Error("empty body with forged count decoded")
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeBinary drives both binary decoders over arbitrary input. The
+// seeded corpus covers valid DMMT1/DMMT2 encodings (including the signed
+// corners), truncations and plain garbage; `go test` replays the seeds,
+// `go test -fuzz=FuzzDecodeBinary` explores from them.
+//
+// Properties checked on every input:
+//   - the decoders never panic and never return events with out-of-range
+//     fields (non-positive alloc sizes, negative IDs);
+//   - DecodeBinary and DecodeBinarySource agree: same accept/reject
+//     verdict, and on accept the same name and events (differential);
+//   - anything that decodes re-encodes (in both formats) back to the
+//     same events (round trip).
+func FuzzDecodeBinary(f *testing.F) {
+	seedTraces := []*Trace{
+		{Name: "empty"},
+		sampleTrace(),
+		signedTrace(1),
+		signedTrace(2),
+	}
+	for _, tr := range seedTraces {
+		var v1, v2 bytes.Buffer
+		if err := tr.EncodeBinary(&v1); err != nil {
+			f.Fatal(err)
+		}
+		if err := tr.EncodeBinary2(&v2); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v1.Bytes())
+		f.Add(v2.Bytes())
+		f.Add(v1.Bytes()[:len(v1.Bytes())/2]) // truncated
+		f.Add(v2.Bytes()[:len(v2.Bytes())-1]) // missing trailer byte
+	}
+	f.Add([]byte("DMMT1\n"))
+	f.Add([]byte("DMMT2\n"))
+	f.Add([]byte("not a trace at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole, wholeErr := DecodeBinary(bytes.NewReader(data))
+
+		var streamed []Event
+		var streamName string
+		src, streamErr := DecodeBinarySource(bytes.NewReader(data))
+		if streamErr == nil {
+			streamName = src.Name()
+			for {
+				e, ok, err := src.Next()
+				if err != nil {
+					streamErr = err
+					break
+				}
+				if !ok {
+					break
+				}
+				streamed = append(streamed, e)
+			}
+		}
+
+		if (wholeErr == nil) != (streamErr == nil) {
+			t.Fatalf("decoder verdicts disagree: DecodeBinary err=%v, source err=%v", wholeErr, streamErr)
+		}
+		if wholeErr != nil {
+			return
+		}
+		if whole.Name != streamName {
+			t.Fatalf("decoders accepted but disagree on the name: %q vs %q", whole.Name, streamName)
+		}
+		// DecodeBinary materializes an empty (non-nil) slice where the
+		// drain loop leaves nil; only the contents matter.
+		if len(whole.Events) != len(streamed) ||
+			(len(streamed) > 0 && !reflect.DeepEqual(whole.Events, streamed)) {
+			t.Fatal("decoders accepted but disagree on the events")
+		}
+		for i, e := range whole.Events {
+			if e.Kind != KindAlloc && e.Kind != KindFree {
+				t.Fatalf("event %d: bad kind %d decoded", i, e.Kind)
+			}
+			if e.ID < 0 {
+				t.Fatalf("event %d: negative id %d decoded", i, e.ID)
+			}
+			if e.Kind == KindAlloc && e.Size <= 0 {
+				t.Fatalf("event %d: alloc size %d decoded", i, e.Size)
+			}
+		}
+		for name, encode := range encoders {
+			var buf bytes.Buffer
+			if err := encode(whole, &buf); err != nil {
+				t.Fatalf("%s: re-encoding decoded trace: %v", name, err)
+			}
+			again, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s: decoding re-encoded trace: %v", name, err)
+			}
+			if whole.Name != again.Name || len(whole.Events) != len(again.Events) ||
+				(len(whole.Events) > 0 && !reflect.DeepEqual(whole.Events, again.Events)) {
+				t.Fatalf("%s: round trip changed the trace", name)
+			}
+		}
+	})
+}

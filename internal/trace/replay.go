@@ -67,8 +67,9 @@ func newLiveTable(t *Trace) liveTable {
 	}
 	// A Builder trace has one alloc event per ID, so maxID+1 never
 	// exceeds the event count; tolerate mild sparseness beyond that.
-	// Negative IDs (possible in hand-built or decoded traces) are not
-	// slice-indexable and force the map fallback.
+	// Negative IDs (possible only in hand-built in-memory traces — the
+	// binary decoders reject them) are not slice-indexable and force
+	// the map fallback.
 	if minID >= 0 && maxID < 2*int64(len(t.Events))+64 {
 		return liveTable{dense: make([]heap.Addr, maxID+1)}
 	}
@@ -110,22 +111,103 @@ const cancelCheckMask = 4096 - 1
 // The manager is used as-is (callers Reset or construct fresh managers for
 // independent runs). Cancelling ctx stops the replay between events and
 // returns the context's error; a nil ctx is treated as context.Background.
+//
+// Run is the in-memory form of RunSource: the two produce identical
+// results for the same event sequence.
 func Run(ctx context.Context, m mm.Manager, t *Trace, opts RunOpts) (Result, error) {
+	return RunSource(ctx, m, t.Source(), opts)
+}
+
+// RunSource replays an event stream against a manager. It is the
+// out-of-core replay path: memory is bounded by the source's own needs
+// plus a live-pointer table proportional to the application's live set —
+// independent of the trace length — so a trace decoded straight off disk
+// (DecodeBinarySource) replays without ever being materialized.
+//
+// The source is consumed to exhaustion (or to the first error) and, when
+// it holds resources, released via Close. Results are identical to Run
+// on the materialized equivalent of the stream.
+func RunSource(ctx context.Context, m mm.Manager, src Source, opts RunOpts) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	addrs := newLiveTable(t)
-	res := Result{Manager: m.Name(), TraceName: t.Name, Events: len(t.Events)}
-	if opts.SampleEvery > 0 {
-		res.Series = make([]Point, 0, len(t.Events)/opts.SampleEvery+1)
+	// The in-memory source takes the fast path: direct slice iteration
+	// with the preallocated dense live table, no per-event interface
+	// call. True streams use a live-set-bounded sparse table, since a
+	// dense table indexed by allocation ID would grow with the trace
+	// length.
+	if ss, ok := src.(*sliceSource); ok {
+		return runSlice(ctx, m, ss, opts)
 	}
-	for i := range t.Events {
+	addrs := liveTable{sparse: make(map[int64]heap.Addr, 256)}
+	defer Close(src)
+	name := src.Name()
+	res := Result{Manager: m.Name(), TraceName: name}
+	for i := 0; ; i++ {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("replay %q on %s: event %d: %w", name, m.Name(), i, err)
+			}
+		}
+		e, ok, err := src.Next()
+		if err != nil {
+			return res, fmt.Errorf("replay %q on %s: event %d: %w", name, m.Name(), i, err)
+		}
+		if !ok {
+			break
+		}
+		res.Events++
+		switch e.Kind {
+		case KindAlloc:
+			p, err := m.Alloc(mm.Request{Size: e.Size, Tag: int(e.Tag), Phase: int(e.Phase)})
+			if err != nil {
+				return res, fmt.Errorf("replay %q on %s: event %d: alloc %d bytes: %w", name, m.Name(), i, e.Size, err)
+			}
+			addrs.set(e.ID, p)
+		case KindFree:
+			p, ok := addrs.take(e.ID)
+			if !ok {
+				return res, fmt.Errorf("replay %q on %s: event %d: free of unknown id %d", name, m.Name(), i, e.ID)
+			}
+			if err := m.Free(p); err != nil {
+				return res, fmt.Errorf("replay %q on %s: event %d: free id %d: %w", name, m.Name(), i, e.ID, err)
+			}
+		default:
+			return res, fmt.Errorf("replay %q: event %d: bad kind %d", name, i, e.Kind)
+		}
+		if opts.SampleEvery > 0 && i%opts.SampleEvery == 0 {
+			res.Series = append(res.Series, Point{
+				Index: i, Tick: e.Tick, Footprint: m.Footprint(), Live: m.Stats().LiveBytes,
+			})
+		}
+	}
+	finish(&res, m)
+	return res, nil
+}
+
+// runSlice is RunSource's in-memory fast path: it iterates the event
+// slice directly — pointer access, no per-event interface call or event
+// copy — with the dense live table preallocated from a pre-scan, exactly
+// the classic replay loop. It must stay semantically identical to the
+// streaming loop above; the streaming-vs-in-memory differential tests
+// pin the two together.
+func runSlice(ctx context.Context, m mm.Manager, ss *sliceSource, opts RunOpts) (Result, error) {
+	t := ss.t
+	events := t.Events[ss.i:]
+	ss.i = len(t.Events) // the pass consumes the source either way
+	addrs := newLiveTable(t)
+	res := Result{Manager: m.Name(), TraceName: t.Name}
+	if opts.SampleEvery > 0 {
+		res.Series = make([]Point, 0, len(events)/opts.SampleEvery+1)
+	}
+	for i := range events {
 		if i&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return res, fmt.Errorf("replay %q on %s: event %d: %w", t.Name, m.Name(), i, err)
 			}
 		}
-		e := &t.Events[i]
+		e := &events[i]
+		res.Events++
 		switch e.Kind {
 		case KindAlloc:
 			p, err := m.Alloc(mm.Request{Size: e.Size, Tag: int(e.Tag), Phase: int(e.Phase)})
@@ -150,10 +232,15 @@ func Run(ctx context.Context, m mm.Manager, t *Trace, opts RunOpts) (Result, err
 			})
 		}
 	}
+	finish(&res, m)
+	return res, nil
+}
+
+// finish fills the end-of-replay statistics common to both loops.
+func finish(res *Result, m mm.Manager) {
 	res.MaxFootprint = m.MaxFootprint()
 	res.Final = m.Footprint()
 	res.Stats = m.Stats()
 	res.MaxLive = res.Stats.MaxLive
 	res.Work = res.Stats.Work
-	return res, nil
 }

@@ -89,18 +89,52 @@ func (t *Trace) MaxLiveBytes() int64 {
 }
 
 // Builder incrementally constructs a well-formed trace; workloads use it
-// so that IDs, phases and ticks stay consistent.
+// so that IDs, phases and ticks stay consistent. A Builder either
+// materializes the events (NewBuilder) or streams them into an EventSink
+// as they are emitted (NewBuilderTo) — in sink mode nothing but the live
+// allocation table is retained, so generation memory is O(live set)
+// regardless of trace length.
 type Builder struct {
 	t      Trace
 	nextID int64
 	tick   int64
 	phase  int32
-	live   map[int64]bool
+	live   map[int64]int64 // id -> size of currently live allocations
+	cur    int64           // currently live bytes
+	max    int64           // peak of cur
+	count  int             // events emitted
+	sink   EventSink       // nil: append to t.Events
+	err    error           // first sink failure; latched
 }
 
 // NewBuilder returns a Builder for a trace with the given name.
 func NewBuilder(name string) *Builder {
-	return &Builder{t: Trace{Name: name}, live: make(map[int64]bool)}
+	return &Builder{t: Trace{Name: name}, live: make(map[int64]int64)}
+}
+
+// NewBuilderTo returns a Builder that streams every event into sink
+// instead of materializing the trace: Build returns a Trace carrying only
+// the name. Sink failures latch into Err; events after a failure are
+// dropped (the generator has no error path, so it runs to completion and
+// the caller checks Err once).
+func NewBuilderTo(name string, sink EventSink) *Builder {
+	b := &Builder{t: Trace{Name: name}, live: make(map[int64]int64), sink: sink}
+	if sink != nil {
+		b.err = sink.Begin(name)
+	}
+	return b
+}
+
+// emit routes one event to the sink or the event slice.
+func (b *Builder) emit(e Event) {
+	b.count++
+	if b.sink != nil {
+		if b.err == nil {
+			b.err = b.sink.WriteEvent(e)
+		}
+		return
+	}
+	b.t.Events = append(b.t.Events, e)
 }
 
 // SetPhase switches the behavioural phase recorded on subsequent events.
@@ -116,8 +150,12 @@ func (b *Builder) Alloc(size int64, tag int) int64 {
 	}
 	id := b.nextID
 	b.nextID++
-	b.live[id] = true
-	b.t.Events = append(b.t.Events, Event{
+	b.live[id] = size
+	b.cur += size
+	if b.cur > b.max {
+		b.max = b.cur
+	}
+	b.emit(Event{
 		Kind: KindAlloc, ID: id, Size: size, Tag: int32(tag), Phase: b.phase, Tick: b.tick,
 	})
 	return id
@@ -125,11 +163,13 @@ func (b *Builder) Alloc(size int64, tag int) int64 {
 
 // Free appends a deallocation event for a live ID.
 func (b *Builder) Free(id int64) {
-	if !b.live[id] {
+	size, ok := b.live[id]
+	if !ok {
 		panic(fmt.Sprintf("trace: builder free of dead id %d", id))
 	}
 	delete(b.live, id)
-	b.t.Events = append(b.t.Events, Event{Kind: KindFree, ID: id, Phase: b.phase, Tick: b.tick})
+	b.cur -= size
+	b.emit(Event{Kind: KindFree, ID: id, Phase: b.phase, Tick: b.tick})
 }
 
 // LiveIDs returns the currently live allocation IDs (order unspecified).
@@ -141,5 +181,19 @@ func (b *Builder) LiveIDs() []int64 {
 	return out
 }
 
-// Build finalizes and returns the trace. The builder must not be reused.
+// EventCount returns the number of events emitted so far (in sink mode,
+// the events written to the sink).
+func (b *Builder) EventCount() int { return b.count }
+
+// MaxLiveBytes returns the peak of concurrently live bytes emitted so
+// far; in materializing mode it equals Build().MaxLiveBytes().
+func (b *Builder) MaxLiveBytes() int64 { return b.max }
+
+// Err returns the first sink failure, or nil. Builders without a sink
+// never fail.
+func (b *Builder) Err() error { return b.err }
+
+// Build finalizes and returns the trace. In sink mode the returned trace
+// carries the name only (the events went to the sink); check Err. The
+// builder must not be reused.
 func (b *Builder) Build() *Trace { return &b.t }

@@ -71,7 +71,14 @@ type Result struct {
 
 // BuildTrace simulates DRR over synthetic traffic and returns its
 // allocation trace (plus scheduler statistics).
-func BuildTrace(cfg Config) (*Result, error) {
+func BuildTrace(cfg Config) (*Result, error) { return StreamTrace(cfg, nil) }
+
+// StreamTrace is BuildTrace with the events streamed into sink as they
+// are generated (a nil sink materializes them): Result.Trace then
+// carries only the name and the event slice is never built. The traffic
+// generator's own packet list still scales with the trace, so streaming
+// removes the events' share of generation memory, not the simulation's.
+func StreamTrace(cfg Config, sink trace.EventSink) (*Result, error) {
 	cfg.defaults()
 	pkts := netsim.Generate(cfg.Net)
 	if len(pkts) == 0 {
@@ -82,7 +89,7 @@ func BuildTrace(cfg Config) (*Result, error) {
 	avgBytesPerMs := float64(stats.Bytes) / stats.Duration
 	drainPerMs = avgBytesPerMs * cfg.DrainFactor
 
-	b := trace.NewBuilder(fmt.Sprintf("drr-seed%d", cfg.Seed))
+	b := trace.NewBuilderTo(fmt.Sprintf("drr-seed%d", cfg.Seed), sink)
 	queues := make([]queue, cfg.Queues)
 	res := &Result{Packets: len(pkts)}
 
@@ -177,8 +184,15 @@ func BuildTrace(cfg Config) (*Result, error) {
 		b.Free(flows[f].id)
 	}
 	res.Trace = b.Build()
-	if err := res.Trace.Validate(); err != nil {
-		return nil, fmt.Errorf("drr: emitted invalid trace: %w", err)
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("drr: writing trace: %w", err)
+	}
+	// In sink mode the events are gone; the Builder's own live accounting
+	// already enforced well-formedness as they streamed out.
+	if sink == nil {
+		if err := res.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("drr: emitted invalid trace: %w", err)
+		}
 	}
 	return res, nil
 }

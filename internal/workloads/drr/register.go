@@ -12,7 +12,7 @@ func init() {
 		if o.Quick {
 			cfg.Net = netsim.Config{Phases: 4, PhaseMs: 250}
 		}
-		res, err := BuildTrace(cfg)
+		res, err := StreamTrace(cfg, o.Sink)
 		if err != nil {
 			return nil, err
 		}

@@ -56,9 +56,14 @@ type Result struct {
 
 // BuildTrace runs the reconstruction kernel and records its allocation
 // trace.
-func BuildTrace(cfg Config) (*Result, error) {
+func BuildTrace(cfg Config) (*Result, error) { return StreamTrace(cfg, nil) }
+
+// StreamTrace is BuildTrace with the events streamed into sink as they
+// are generated (a nil sink materializes them): Result.Trace then
+// carries only the name and the event slice is never built.
+func StreamTrace(cfg Config, sink trace.EventSink) (*Result, error) {
 	cfg.defaults()
-	b := trace.NewBuilder(fmt.Sprintf("recon3d-seed%d", cfg.Seed))
+	b := trace.NewBuilderTo(fmt.Sprintf("recon3d-seed%d", cfg.Seed), sink)
 	res := &Result{}
 
 	var pointIDs []int64 // the 3D point cloud, freed at the very end
@@ -134,9 +139,14 @@ func BuildTrace(cfg Config) (*Result, error) {
 		b.Free(id)
 	}
 	res.Trace = b.Build()
-	res.PeakBytes = res.Trace.MaxLiveBytes()
-	if err := res.Trace.Validate(); err != nil {
-		return nil, fmt.Errorf("recon3d: emitted invalid trace: %w", err)
+	res.PeakBytes = b.MaxLiveBytes()
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("recon3d: writing trace: %w", err)
+	}
+	if sink == nil {
+		if err := res.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("recon3d: emitted invalid trace: %w", err)
+		}
 	}
 	return res, nil
 }

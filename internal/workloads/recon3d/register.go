@@ -11,7 +11,7 @@ func init() {
 		if o.Quick {
 			cfg.Pairs = 2
 		}
-		res, err := BuildTrace(cfg)
+		res, err := StreamTrace(cfg, o.Sink)
 		if err != nil {
 			return nil, err
 		}

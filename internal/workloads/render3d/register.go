@@ -12,7 +12,7 @@ func init() {
 			cfg.Detail = 600
 			cfg.Frames = 48
 		}
-		res, err := BuildTrace(cfg)
+		res, err := StreamTrace(cfg, o.Sink)
 		if err != nil {
 			return nil, err
 		}

@@ -65,10 +65,15 @@ type Result struct {
 }
 
 // BuildTrace runs the renderer and records its allocation trace.
-func BuildTrace(cfg Config) (*Result, error) {
+func BuildTrace(cfg Config) (*Result, error) { return StreamTrace(cfg, nil) }
+
+// StreamTrace is BuildTrace with the events streamed into sink as they
+// are generated (a nil sink materializes them): Result.Trace then
+// carries only the name and the event slice is never built.
+func StreamTrace(cfg Config, sink trace.EventSink) (*Result, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x51ED))
-	b := trace.NewBuilder(fmt.Sprintf("render3d-seed%d", cfg.Seed))
+	b := trace.NewBuilderTo(fmt.Sprintf("render3d-seed%d", cfg.Seed), sink)
 	res := &Result{Objects: cfg.Objects}
 
 	allocRecord := func(size int64) int64 {
@@ -184,9 +189,14 @@ func BuildTrace(cfg Config) (*Result, error) {
 		}
 	}
 	res.Trace = b.Build()
-	res.PeakBytes = res.Trace.MaxLiveBytes()
-	if err := res.Trace.Validate(); err != nil {
-		return nil, fmt.Errorf("render3d: emitted invalid trace: %w", err)
+	res.PeakBytes = b.MaxLiveBytes()
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("render3d: writing trace: %w", err)
+	}
+	if sink == nil {
+		if err := res.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("render3d: emitted invalid trace: %w", err)
+		}
 	}
 	return res, nil
 }
