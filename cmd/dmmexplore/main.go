@@ -24,6 +24,16 @@
 // candidate owns a private simulated heap), with results identical to a
 // sequential run. Ctrl-C cancels the exploration.
 //
+// Long runs survive interruption: -checkpoint FILE writes the full
+// exploration state (strategy snapshot, evaluated candidates, trace
+// identity) atomically every -checkpoint-every generations, and
+// -resume continues from it — the resumed run's output is
+// byte-identical to an uninterrupted one. Resume refuses a checkpoint
+// written by a different command line or against a different trace.
+// -on-error selects what a panicking candidate does to the run: "fail"
+// (abort, the default) or "skip" (record it as that candidate's error
+// and keep going).
+//
 // A trace file passed via -trace is replayed out-of-core: every candidate
 // streams its own pass straight off the file (binary formats), so even a
 // capture far larger than memory explores with O(live-set) memory per
@@ -37,14 +47,20 @@
 //	dmmexplore -workload render3d -parallel 8
 //	dmmexplore -trace drr1.trace
 //	dmmexplore drr1.trace
+//	dmmexplore -workload drr -strategy ga -checkpoint run.ckpt
+//	dmmexplore -workload drr -strategy ga -checkpoint run.ckpt -resume
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -100,6 +116,84 @@ func resolveMode(strategy, objectives string) (objs []dmmkit.Objective, multi bo
 	return objs, hasWork, nil
 }
 
+// objectivesKey canonicalizes an objective list for the checkpoint meta
+// (sorted, so "work,footprint" and "footprint,work" resume each other).
+func objectivesKey(objs []dmmkit.Objective) string {
+	if len(objs) == 0 {
+		return "footprint"
+	}
+	names := make([]string, len(objs))
+	for i, o := range objs {
+		names[i] = o.String()
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// setupCheckpoint wires checkpoint writing (and, with resume, state
+// restoration) into the exploration options. The strategy must
+// implement Snapshot/Restore; every built-in one does. A resume whose
+// checkpoint file does not exist yet starts fresh — an interrupted run
+// may have died before its first checkpoint.
+func setupCheckpoint(opts *dmmkit.ExploreOpts, meta dmmkit.CheckpointMeta, path string, every int, resume bool) error {
+	if opts.Strategy == nil {
+		// The engine's implicit exhaustive strategy lives inside the
+		// engine; checkpointing needs an explicit handle to snapshot.
+		opts.Strategy = dmmkit.NewExhaustiveSearch(meta.MaxEvaluations)
+	}
+	snapper, ok := opts.Strategy.(dmmkit.SearchSnapshotter)
+	if !ok {
+		return fmt.Errorf("-strategy %s does not support checkpointing (no Snapshot/Restore)", meta.Strategy)
+	}
+	gens := 0
+	if resume {
+		st, err := dmmkit.LoadCheckpoint(path)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "dmmexplore: no checkpoint at %s yet; starting fresh\n", path)
+		case err != nil:
+			return err
+		default:
+			if !st.Meta.Trace.Equal(meta.Trace) {
+				return fmt.Errorf("%s was checkpointed against %s; this run explores %s", path, st.Meta.Trace, meta.Trace)
+			}
+			have, want := st.Meta, meta
+			have.Trace, want.Trace = dmmkit.TraceIdentity{}, dmmkit.TraceIdentity{}
+			if have != want {
+				return fmt.Errorf("%s was written by a different configuration (checkpoint %+v, command line %+v)", path, have, want)
+			}
+			if err := snapper.Restore(st.Strategy); err != nil {
+				return fmt.Errorf("restoring strategy from %s: %w", path, err)
+			}
+			prior, err := st.Prior()
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			opts.Prior = prior
+			gens = st.GenerationsDone
+			fmt.Fprintf(os.Stderr, "dmmexplore: resuming from %s: %d generations, %d candidates already evaluated\n",
+				path, gens, len(prior))
+		}
+	}
+	opts.AfterGeneration = func(cands []dmmkit.Candidate) error {
+		gens++
+		if gens%every != 0 {
+			return nil
+		}
+		snap, err := snapper.Snapshot()
+		if err != nil {
+			return fmt.Errorf("snapshotting after generation %d: %w", gens, err)
+		}
+		return dmmkit.SaveCheckpoint(path, &dmmkit.CheckpointState{
+			Meta:            meta,
+			GenerationsDone: gens,
+			Strategy:        json.RawMessage(snap),
+			Candidates:      dmmkit.CheckpointCandidates(cands),
+		})
+	}
+	return nil
+}
+
 // frontPlot renders the footprint×work front as an ASCII scatter, with
 // every evaluated candidate as background context and the methodology's
 // design as its own marker when it replayed successfully.
@@ -145,6 +239,10 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
 		progress    = flag.Bool("progress", true, "report evaluation progress on stderr")
 		plot        = flag.Bool("plot", true, "render an ASCII footprint-vs-work plot in Pareto mode")
+		ckptPath    = flag.String("checkpoint", "", "write exploration state to this file for -resume (atomic, CRC-guarded)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "checkpoint after every N generations")
+		resume      = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+		onError     = flag.String("on-error", "fail", "panicking-candidate policy: fail (abort the run) or skip (record and continue)")
 	)
 	flag.Parse()
 
@@ -155,15 +253,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
 		os.Exit(2)
 	}
+	errPolicy, err := dmmkit.ParseErrorPolicy(*onError)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmexplore: bad -on-error: %v\n", err)
+		os.Exit(2)
+	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "dmmexplore: -resume requires -checkpoint FILE")
+		os.Exit(2)
+	}
+	if *ckptEvery < 1 {
+		fmt.Fprintf(os.Stderr, "dmmexplore: -checkpoint-every must be >= 1, got %d\n", *ckptEvery)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	// op is what the engine explores; traceLine describes it. An
 	// in-memory trace reports its event count up front, a streaming
-	// DMMT2 file may not (the count lives in its trailer).
+	// DMMT2 file may not (the count lives in its trailer). identityOf
+	// computes the trace identity a checkpoint pins — lazily, since
+	// hashing a large trace file is wasted work without -checkpoint.
 	var op dmmkit.TraceOpener
 	var traceLine string
+	identityOf := func() (dmmkit.TraceIdentity, error) {
+		return dmmkit.TraceIdentity{}, fmt.Errorf("no trace identity")
+	}
 	switch {
 	case *tracePath != "":
 		op, err = dmmkit.OpenTrace(*tracePath)
@@ -181,6 +297,7 @@ func main() {
 		case *dmmkit.Trace:
 			traceLine = fmt.Sprintf("%q (%d events, live peak %d B)", t.Name, len(t.Events), t.MaxLiveBytes())
 		}
+		identityOf = func() (dmmkit.TraceIdentity, error) { return dmmkit.TraceFileIdentity(*tracePath) }
 	case *workload != "":
 		tr, err := dmmkit.BuildWorkload(*workload, dmmkit.WorkloadOpts{Seed: *seed, Quick: *quick})
 		if err != nil {
@@ -189,6 +306,9 @@ func main() {
 		}
 		op = tr
 		traceLine = fmt.Sprintf("%q (%d events, live peak %d B)", tr.Name, len(tr.Events), tr.MaxLiveBytes())
+		identityOf = func() (dmmkit.TraceIdentity, error) {
+			return dmmkit.WorkloadTraceIdentity(*workload, *seed, *quick), nil
+		}
 	case flag.NArg() == 1:
 		tr, err := dmmkit.LoadTrace(flag.Arg(0))
 		if err != nil {
@@ -197,16 +317,18 @@ func main() {
 		}
 		op = tr
 		traceLine = fmt.Sprintf("%q (%d events, live peak %d B)", tr.Name, len(tr.Events), tr.MaxLiveBytes())
+		identityOf = func() (dmmkit.TraceIdentity, error) { return dmmkit.TraceFileIdentity(flag.Arg(0)) }
 	default:
 		fmt.Fprintln(os.Stderr, "usage: dmmexplore [-workload NAME | -trace FILE | trace-file]")
 		os.Exit(2)
 	}
 
 	opts := dmmkit.ExploreOpts{
-		MaxCandidates:   *candidates,
-		IncludeDesigned: true,
-		Parallelism:     *parallel,
-		Objectives:      objs,
+		MaxCandidates:    *candidates,
+		IncludeDesigned:  true,
+		Parallelism:      *parallel,
+		Objectives:       objs,
+		OnCandidateError: errPolicy,
 	}
 	switch *strategy {
 	case "exhaustive":
@@ -228,6 +350,26 @@ func main() {
 		})
 		fmt.Printf("NSGA-II multi-objective search (seed %d, population %d, <= %d generations, <= %d evaluations) for the footprint×work front over %d valid vectors against %s...\n\n",
 			*seed, *population, *generations, *candidates, dmmkit.SpaceSize(), traceLine)
+	}
+	if *ckptPath != "" {
+		identity, err := identityOf()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmmexplore: computing trace identity: %v\n", err)
+			os.Exit(1)
+		}
+		meta := dmmkit.CheckpointMeta{
+			Strategy:       *strategy,
+			Seed:           *seed,
+			Population:     *population,
+			Generations:    *generations,
+			MaxEvaluations: *candidates,
+			Objectives:     objectivesKey(objs),
+			Trace:          identity,
+		}
+		if err := setupCheckpoint(&opts, meta, *ckptPath, *ckptEvery, *resume); err != nil {
+			fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *progress {
 		opts.OnProgress = func(done, total int) {

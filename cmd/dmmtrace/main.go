@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"dmmkit"
@@ -26,7 +28,8 @@ import (
 
 // fail prints the error and exits non-zero, removing the partially
 // written output file first: a trace that failed to encode (disk full,
-// I/O error) must not be left behind looking like a valid one.
+// I/O error) or was interrupted mid-write must not be left behind
+// looking like a valid one.
 func fail(err error, removePath string) {
 	if removePath != "" {
 		os.Remove(removePath)
@@ -44,6 +47,12 @@ func main() {
 		out      = flag.String("o", "", "output file; - for stdout (default <workload><seed>.trace)")
 	)
 	flag.Parse()
+
+	// Ctrl-C aborts generation (the context-wrapped sink fails the next
+	// streamed event) and removes the partial output file.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	switch *format {
 	case "binary", "binary1", "json":
 	default:
@@ -92,9 +101,11 @@ func main() {
 	stats := &dmmkit.TraceStats{}
 	if *format == "binary" {
 		// Streaming: the encoder is the workload's event sink, so the
-		// trace goes straight to disk without being materialized.
+		// trace goes straight to disk without being materialized. The
+		// context wrapper turns a Ctrl-C into a failed write, which the
+		// builder latches and BuildWorkload reports.
 		stats.Sink = dmmkit.NewTraceEncoder(f)
-		wopts.Sink = stats
+		wopts.Sink = dmmkit.SinkWithContext(ctx, stats)
 	}
 
 	tr, err := dmmkit.BuildWorkload(*workload, wopts)
@@ -112,7 +123,10 @@ func main() {
 	case "json":
 		err = tr.EncodeJSON(f)
 	}
-	if err = errors.Join(err, closeOut()); err != nil {
+	// The materialized formats have no streaming cancellation point; a
+	// Ctrl-C that arrived during generation or encoding still removes
+	// the partial output via the joined context error.
+	if err = errors.Join(err, ctx.Err(), closeOut()); err != nil {
 		fail(fmt.Errorf("encoding: %w", err), removePath)
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d events, peak live %d bytes -> %s\n",

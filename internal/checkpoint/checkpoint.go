@@ -1,0 +1,293 @@
+// Package checkpoint persists the state of an interrupted design-space
+// exploration so it can resume bit-identically: the search strategy's
+// snapshot (search.Snapshotter), the candidates already evaluated, and
+// the identity of the trace being explored — enough to refuse a resume
+// against the wrong input.
+//
+// The on-disk format is deliberately paranoid about partial writes and
+// corruption, because checkpoints exist precisely for machines that die
+// mid-write: a versioned magic, a length-prefixed JSON payload, and a
+// trailing CRC-32C over everything before it. Save writes atomically
+// (temp file + rename in the target directory), so the checkpoint path
+// always holds either the previous complete checkpoint or the new one,
+// never a torn hybrid. Decode never panics, whatever bytes it is fed —
+// FuzzDecodeCheckpoint holds it to that.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dmmkit/internal/core"
+	"dmmkit/internal/dspace"
+)
+
+const (
+	// magic identifies (and versions) a checkpoint file.
+	magic = "DMMC1\n"
+	// maxPayload bounds the length prefix against forged input: no real
+	// exploration state comes anywhere near 256 MiB.
+	maxPayload = 1 << 28
+	crcLen     = 4
+)
+
+// castagnoli matches the polynomial the trace layer uses; one choice
+// across the module.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNotCheckpoint reports that the file is not a checkpoint at all
+// (wrong magic) — as opposed to a corrupt or truncated one.
+var ErrNotCheckpoint = errors.New("checkpoint: not a checkpoint file")
+
+// TraceIdentity pins the input a checkpoint belongs to. Resuming
+// against a different trace would silently produce nonsense, so Load
+// callers compare identities before continuing.
+type TraceIdentity struct {
+	// Kind is "file" for on-disk traces or "workload" for generated ones.
+	Kind string `json:"kind"`
+	// Path and SHA256 identify a file trace: the path as given (for
+	// error messages) and the hex SHA-256 of its content (the actual
+	// identity — a renamed file still matches, an edited one does not).
+	Path   string `json:"path,omitempty"`
+	SHA256 string `json:"sha256,omitempty"`
+	// Workload, Seed and Quick identify a generated trace: the
+	// registry's generators are deterministic in these three.
+	Workload string `json:"workload,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Quick    bool   `json:"quick,omitempty"`
+}
+
+// Equal reports whether two identities pin the same input. For file
+// traces only the content hash matters.
+func (id TraceIdentity) Equal(other TraceIdentity) bool {
+	if id.Kind != other.Kind {
+		return false
+	}
+	if id.Kind == "file" {
+		return id.SHA256 == other.SHA256
+	}
+	return id.Workload == other.Workload && id.Seed == other.Seed && id.Quick == other.Quick
+}
+
+// String renders the identity for error messages.
+func (id TraceIdentity) String() string {
+	if id.Kind == "file" {
+		return fmt.Sprintf("file %s (sha256 %.12s…)", id.Path, id.SHA256)
+	}
+	return fmt.Sprintf("workload %s seed %d quick=%v", id.Workload, id.Seed, id.Quick)
+}
+
+// FileIdentity hashes a trace file into its identity.
+func FileIdentity(path string) (TraceIdentity, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TraceIdentity{}, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return TraceIdentity{}, fmt.Errorf("checkpoint: hashing %s: %w", path, err)
+	}
+	return TraceIdentity{Kind: "file", Path: path, SHA256: hex.EncodeToString(h.Sum(nil))}, nil
+}
+
+// WorkloadIdentity is the identity of a generated trace.
+func WorkloadIdentity(name string, seed int64, quick bool) TraceIdentity {
+	return TraceIdentity{Kind: "workload", Workload: name, Seed: seed, Quick: quick}
+}
+
+// Meta records the exploration configuration a checkpoint belongs to.
+// Resume refuses mismatches: restoring a GA snapshot into a differently
+// configured GA would continue a different search.
+type Meta struct {
+	Strategy       string        `json:"strategy"`
+	Seed           int64         `json:"seed"`
+	Population     int           `json:"population,omitempty"`
+	Generations    int           `json:"generations,omitempty"`
+	MaxEvaluations int           `json:"max_evaluations,omitempty"`
+	Objectives     string        `json:"objectives,omitempty"`
+	Trace          TraceIdentity `json:"trace"`
+}
+
+// Candidate is the wire form of an evaluated candidate: the decision
+// vector plus its measurements. Params are not stored — they re-derive
+// deterministically from the trace profile on resume — and errors
+// survive as messages.
+type Candidate struct {
+	Vector       []uint8 `json:"v"`
+	MaxFootprint int64   `json:"f"`
+	Work         int64   `json:"w"`
+	Designed     bool    `json:"d,omitempty"`
+	Err          string  `json:"e,omitempty"`
+}
+
+// State is everything a resumed exploration needs.
+type State struct {
+	Meta Meta `json:"meta"`
+	// GenerationsDone counts the completed generations — how often the
+	// run checkpointed, for logging.
+	GenerationsDone int `json:"generations_done"`
+	// Strategy is the search.Snapshotter snapshot.
+	Strategy json.RawMessage `json:"strategy"`
+	// Candidates are the evaluated candidates, in stream order.
+	Candidates []Candidate `json:"candidates"`
+}
+
+// FromCandidates projects evaluated candidates onto the wire form.
+func FromCandidates(cands []core.Candidate) []Candidate {
+	out := make([]Candidate, len(cands))
+	for i, c := range cands {
+		w := Candidate{
+			Vector:       make([]uint8, dspace.NumTrees),
+			MaxFootprint: c.MaxFootprint,
+			Work:         c.Work,
+			Designed:     c.Designed,
+		}
+		for t := 0; t < dspace.NumTrees; t++ {
+			w.Vector[t] = uint8(c.Vector.Get(dspace.Tree(t)))
+		}
+		if c.Err != nil {
+			w.Err = c.Err.Error()
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// Prior converts the stored candidates back into the engine's Prior
+// slice, validating every vector (a forged checkpoint must not smuggle
+// an invalid genome into the engine).
+func (s *State) Prior() ([]core.Candidate, error) {
+	out := make([]core.Candidate, len(s.Candidates))
+	for i, w := range s.Candidates {
+		if len(w.Vector) != dspace.NumTrees {
+			return nil, fmt.Errorf("checkpoint: candidate %d: vector has %d trees, want %d", i, len(w.Vector), dspace.NumTrees)
+		}
+		var v dspace.Vector
+		for t := 0; t < dspace.NumTrees; t++ {
+			if int(w.Vector[t]) >= dspace.LeafCount(dspace.Tree(t)) {
+				return nil, fmt.Errorf("checkpoint: candidate %d: tree %v has no leaf %d", i, dspace.Tree(t), w.Vector[t])
+			}
+			v.Set(dspace.Tree(t), dspace.Leaf(w.Vector[t]))
+		}
+		c := core.Candidate{
+			Vector:       v,
+			MaxFootprint: w.MaxFootprint,
+			Work:         w.Work,
+			Designed:     w.Designed,
+		}
+		if w.Err != "" {
+			c.Err = errors.New(w.Err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Encode serializes a checkpoint: magic, uvarint payload length, JSON
+// payload, CRC-32C over all preceding bytes.
+func Encode(s *State) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding state: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	out := make([]byte, 0, len(magic)+n+len(payload)+crcLen)
+	out = append(out, magic...)
+	out = append(out, lenBuf[:n]...)
+	out = append(out, payload...)
+	sum := crc32.Checksum(out, castagnoli)
+	var crcBuf [crcLen]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], sum)
+	return append(out, crcBuf[:]...), nil
+}
+
+// Decode parses checkpoint bytes, rejecting — never panicking on —
+// truncation, corruption, forged lengths and malformed payloads.
+func Decode(data []byte) (*State, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, ErrNotCheckpoint
+	}
+	rest := data[len(magic):]
+	payloadLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("checkpoint: truncated length prefix")
+	}
+	if payloadLen > maxPayload {
+		return nil, fmt.Errorf("checkpoint: payload length %d exceeds limit", payloadLen)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < payloadLen+crcLen {
+		return nil, fmt.Errorf("checkpoint: truncated: payload says %d bytes, %d remain", payloadLen, len(rest))
+	}
+	payload := rest[:payloadLen]
+	trailer := rest[payloadLen : payloadLen+crcLen]
+	hashed := data[:len(magic)+n+int(payloadLen)]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.Checksum(hashed, castagnoli); got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch: trailer %08x, content %08x (corrupt checkpoint)", got, want)
+	}
+	var s State
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding payload: %w", err)
+	}
+	return &s, nil
+}
+
+// Save writes the checkpoint atomically: encode, write to a temp file
+// in the target directory, sync, rename. A crash at any point leaves
+// path holding either the previous checkpoint or the new one.
+func Save(path string, s *State) error {
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: installing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads and decodes a checkpoint file.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

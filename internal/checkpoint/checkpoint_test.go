@@ -1,0 +1,227 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmmkit/internal/core"
+	"dmmkit/internal/dspace"
+)
+
+func sampleState(t *testing.T) *State {
+	t.Helper()
+	var v dspace.Vector // the zero vector is always valid
+	cands := []core.Candidate{
+		{Vector: v, MaxFootprint: 4096, Work: 120},
+		{Vector: v, MaxFootprint: 2048, Work: 300, Err: errors.New("replay exploded")},
+	}
+	return &State{
+		Meta: Meta{
+			Strategy:    "ga",
+			Seed:        42,
+			Population:  24,
+			Generations: 40,
+			Objectives:  "footprint",
+			Trace:       WorkloadIdentity("mixed", 7, true),
+		},
+		GenerationsDone: 3,
+		Strategy:        json.RawMessage(`{"kind":"ga","seed":42,"draws":100}`),
+		Candidates:      FromCandidates(cands),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleState(t)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != s.Meta {
+		t.Errorf("Meta = %+v, want %+v", got.Meta, s.Meta)
+	}
+	if got.GenerationsDone != s.GenerationsDone {
+		t.Errorf("GenerationsDone = %d, want %d", got.GenerationsDone, s.GenerationsDone)
+	}
+	if !bytes.Equal(got.Strategy, s.Strategy) {
+		t.Errorf("Strategy = %s, want %s", got.Strategy, s.Strategy)
+	}
+	prior, err := got.Prior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 2 {
+		t.Fatalf("Prior has %d candidates, want 2", len(prior))
+	}
+	if prior[0].MaxFootprint != 4096 || prior[0].Err != nil {
+		t.Errorf("prior[0] = %+v", prior[0])
+	}
+	if prior[1].Err == nil || prior[1].Err.Error() != "replay exploded" {
+		t.Errorf("prior[1].Err = %v, want the recorded message", prior[1].Err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	s := sampleState(t)
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with an updated state; the path must hold the new one.
+	s.GenerationsDone = 4
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GenerationsDone != 4 {
+		t.Errorf("GenerationsDone = %d, want 4", got.GenerationsDone)
+	}
+	// No temp litter survives a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	data, err := Encode(sampleState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("not-a-checkpoint", func(t *testing.T) {
+		for _, bad := range [][]byte{nil, {}, []byte("x"), []byte("DMMT2\nstuff")} {
+			if _, err := Decode(bad); !errors.Is(err, ErrNotCheckpoint) {
+				t.Errorf("Decode(%q) err = %v, want ErrNotCheckpoint", bad, err)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for cut := 1; cut < len(data); cut += 7 {
+			if _, err := Decode(data[:len(data)-cut]); err == nil {
+				t.Fatalf("truncated by %d bytes: decoded without error", cut)
+			}
+		}
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		for off := 0; off < len(data); off++ {
+			corrupt := append([]byte(nil), data...)
+			corrupt[off] ^= 0x10
+			if _, err := Decode(corrupt); err == nil {
+				t.Fatalf("flip at byte %d: decoded without error", off)
+			}
+		}
+	})
+	t.Run("forged-length", func(t *testing.T) {
+		forged := append([]byte(nil), data[:len(magic)]...)
+		forged = append(forged, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01) // huge uvarint
+		if _, err := Decode(forged); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Errorf("forged length err = %v, want the limit rejection", err)
+		}
+	})
+}
+
+func TestPriorRejectsInvalidVectors(t *testing.T) {
+	s := sampleState(t)
+	s.Candidates[0].Vector[0] = 255 // no tree has 255 leaves
+	if _, err := s.Prior(); err == nil {
+		t.Fatal("Prior accepted an out-of-range leaf")
+	}
+	s = sampleState(t)
+	s.Candidates[0].Vector = s.Candidates[0].Vector[:3]
+	if _, err := s.Prior(); err == nil {
+		t.Fatal("Prior accepted a short vector")
+	}
+}
+
+func TestTraceIdentity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dmmt")
+	if err := os.WriteFile(path, []byte("same content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idA, err := FileIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A renamed copy with identical content still matches.
+	path2 := filepath.Join(dir, "b.dmmt")
+	if err := os.WriteFile(path2, []byte("same content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idB, err := FileIdentity(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idA.Equal(idB) {
+		t.Error("identical content, different identity")
+	}
+	// Edited content does not.
+	if err := os.WriteFile(path2, []byte("other content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idC, err := FileIdentity(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA.Equal(idC) {
+		t.Error("different content, same identity")
+	}
+
+	w1 := WorkloadIdentity("mixed", 7, false)
+	if !w1.Equal(WorkloadIdentity("mixed", 7, false)) {
+		t.Error("identical workload identities differ")
+	}
+	for _, other := range []TraceIdentity{
+		WorkloadIdentity("mixed", 8, false),
+		WorkloadIdentity("bursts", 7, false),
+		WorkloadIdentity("mixed", 7, true),
+		idA,
+	} {
+		if w1.Equal(other) {
+			t.Errorf("workload identity matched %v", other)
+		}
+	}
+}
+
+// FuzzDecodeCheckpoint: whatever bytes arrive — truncated, corrupted,
+// forged lengths, hostile JSON — Decode (and Prior on anything that
+// decodes) returns an error or a valid state; it never panics.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	valid, err := Encode(sampleState(&testing.T{}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(append([]byte(magic), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
+	f.Add(valid[:len(valid)-2])
+	short := append([]byte(nil), valid...)
+	short[len(magic)] = 3 // length prefix lies short: CRC covers less than is there
+	f.Add(short)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes cleanly must also convert cleanly or
+		// error — never panic.
+		_, _ = s.Prior()
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	workpool "dmmkit/internal/pool"
@@ -107,8 +108,34 @@ func (e *Engine) ExploreSource(ctx context.Context, tr trace.Opener, opts Explor
 		em.reserved = 1
 	}
 
+	// A resumed run replays the prior candidates through the stream
+	// first — re-emitted, not re-evaluated — with Params re-derived from
+	// the (deterministic) profile, so downstream output cannot tell a
+	// resumed run from an uninterrupted one.
+	if len(opts.Prior) > 0 {
+		out = append(out, opts.Prior...)
+		em.extend(len(opts.Prior))
+		for i := range out {
+			if !out[i].Designed {
+				out[i].Params = deriveParams(out[i].Vector, tr2, prof)
+			}
+			em.done(i, out)
+		}
+	}
+
 	// Build/replay failures are per-candidate data (Candidate.Err), not
-	// exploration failures; only cancellation aborts the run.
+	// exploration failures; under SkipAndRecord so are panics. Only
+	// cancellation — and a panic under FailFast — aborts the run.
+	guard := func(i int, eval func() Candidate) (c Candidate) {
+		if opts.OnCandidateError == SkipAndRecord {
+			defer func() {
+				if r := recover(); r != nil {
+					c.Err = &workpool.PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				}
+			}()
+		}
+		return eval()
+	}
 	runBatch := func(n int, eval func(i int) Candidate) error {
 		base := len(out)
 		out = append(out, make([]Candidate, n)...)
@@ -131,19 +158,35 @@ func (e *Engine) ExploreSource(ctx context.Context, tr trace.Opener, opts Explor
 		base := len(out)
 		err := runBatch(len(batch), func(i int) Candidate {
 			v := batch[i]
-			return evaluate(ctx, v, deriveParams(v, tr2, prof), tr, false)
+			par := deriveParams(v, tr2, prof)
+			c := guard(i, func() Candidate {
+				return evaluate(ctx, v, par, tr, false)
+			})
+			// A recovered panic yields a zero candidate; restore its
+			// identity so the failure is attributable in the stream.
+			c.Vector, c.Params = v, par
+			return c
 		})
 		if err != nil {
 			return out[:em.prefix()], err
 		}
 		strat.Observe(resultsOf(out[base:]))
+		if opts.AfterGeneration != nil {
+			if err := opts.AfterGeneration(out); err != nil {
+				return out[:em.prefix()], err
+			}
+		}
 	}
 
 	if opts.IncludeDesigned {
 		em.reserved = 0
 		designed := DesignFor(prof)
 		err := runBatch(1, func(int) Candidate {
-			return evaluate(ctx, designed.Vector, designed.Params, tr, true)
+			c := guard(0, func() Candidate {
+				return evaluate(ctx, designed.Vector, designed.Params, tr, true)
+			})
+			c.Vector, c.Params, c.Designed = designed.Vector, designed.Params, true
+			return c
 		})
 		if err != nil {
 			return out[:em.prefix()], err

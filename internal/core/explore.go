@@ -97,6 +97,50 @@ func multiObjective(objs []Objective) (bool, error) {
 	return hasFootprint && hasWork, nil
 }
 
+// ErrorPolicy decides what a panicking candidate evaluation does to an
+// exploration run. Build and replay errors are always per-candidate
+// data (Candidate.Err); the policy governs panics — a pathological
+// manager configuration tripping over its own invariants.
+type ErrorPolicy int
+
+const (
+	// FailFast (the default) aborts the exploration at the first
+	// panicking candidate: the run returns the contiguous prefix of
+	// candidates already streamed together with a *pool.PanicError
+	// carrying the recovered value and stack. Nothing is swallowed.
+	FailFast ErrorPolicy = iota
+	// SkipAndRecord converts a panicking candidate into a recorded
+	// per-candidate failure: the panic is recovered inside the
+	// evaluation, the candidate enters the result stream with Err set
+	// to the *pool.PanicError, and the run continues. Which candidates
+	// fail depends only on their vectors, so the result stream stays
+	// byte-identical at every parallelism level.
+	SkipAndRecord
+)
+
+// String returns the policy's flag-syntax name.
+func (p ErrorPolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail"
+	case SkipAndRecord:
+		return "skip"
+	}
+	return fmt.Sprintf("ErrorPolicy(%d)", int(p))
+}
+
+// ParseErrorPolicy parses the CLI spelling of an error policy: "fail"
+// (fail-fast, the default) or "skip" (skip-and-record).
+func ParseErrorPolicy(s string) (ErrorPolicy, error) {
+	switch s {
+	case "", "fail":
+		return FailFast, nil
+	case "skip":
+		return SkipAndRecord, nil
+	}
+	return FailFast, fmt.Errorf("unknown error policy %q (want fail or skip)", s)
+}
+
 // ExploreOpts configures a design-space exploration run.
 type ExploreOpts struct {
 	// Strategy decides which vectors are evaluated, one generation at a
@@ -141,6 +185,26 @@ type ExploreOpts struct {
 	// candidate changes it. Calls are serialized with OnCandidate and
 	// OnProgress; the slice is a copy the callback may keep.
 	OnFront func(front []Candidate)
+	// OnCandidateError selects what a panicking candidate evaluation
+	// does to the run: FailFast (default) aborts it, SkipAndRecord
+	// turns the panic into the candidate's Err and continues.
+	OnCandidateError ErrorPolicy
+	// Prior replays the candidates of an earlier interrupted run
+	// through the result stream — in order, before any new evaluation,
+	// without re-evaluating them — so a resumed exploration emits the
+	// byte-identical candidate (and Pareto front) stream of an
+	// uninterrupted one. Params are re-derived from the trace profile;
+	// restoring the Strategy to the matching state (search.Snapshotter)
+	// is the caller's job. The engine does not verify that Prior and
+	// the strategy state belong together.
+	Prior []Candidate
+	// AfterGeneration, when set, runs after each generation's results
+	// are observed by the strategy — the point where strategy state is
+	// clean between generations and a checkpoint is safe. cands is the
+	// full in-order candidate slice so far (prior candidates included);
+	// the callback must not mutate or retain it past the call. A
+	// non-nil error aborts the exploration with that error.
+	AfterGeneration func(cands []Candidate) error
 }
 
 // SpaceSize returns the number of valid decision vectors (~144k), cached
@@ -159,10 +223,18 @@ func Explore(tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
 	return (&Engine{}).Explore(context.Background(), tr, opts)
 }
 
+// evalHook, when non-nil, runs at the start of every candidate
+// evaluation. It exists for the panic-isolation tests, which use it to
+// make a chosen vector pathological; production code never sets it.
+var evalHook func(v dspace.Vector, designed bool)
+
 // evaluate builds the candidate manager and replays one streaming pass
 // over the trace against it. Openers hand out independent sources, so
 // evaluations run concurrently without sharing replay state.
 func evaluate(ctx context.Context, v dspace.Vector, par Params, tr trace.Opener, designed bool) Candidate {
+	if evalHook != nil {
+		evalHook(v, designed)
+	}
 	c := Candidate{Vector: v, Params: par, Designed: designed}
 	m, err := NewCustom(heap.New(heap.Config{}), v, par)
 	if err != nil {

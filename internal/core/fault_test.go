@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmmkit/internal/dspace"
+	workpool "dmmkit/internal/pool"
+	"dmmkit/internal/search"
+	"dmmkit/internal/trace"
+)
+
+// withEvalPanic makes the evaluation of one chosen vector panic for the
+// duration of the test.
+func withEvalPanic(t *testing.T, victim dspace.Vector) {
+	t.Helper()
+	evalHook = func(v dspace.Vector, designed bool) {
+		if v == victim && !designed {
+			panic("pathological manager vector")
+		}
+	}
+	t.Cleanup(func() { evalHook = nil })
+}
+
+// TestPanicSkipAndRecord: with the skip-and-record policy a panicking
+// candidate becomes a recorded per-candidate failure — the run
+// completes, every other candidate is unaffected, and the stream is
+// byte-identical at parallelism 1 and 8.
+func TestPanicSkipAndRecord(t *testing.T) {
+	tr := exploreTrace()
+	baselineOpts := ExploreOpts{MaxCandidates: 24, IncludeDesigned: true, Parallelism: 1}
+	baseline, err := Explore(tr, baselineOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := baseline[5].Vector
+	withEvalPanic(t, victim)
+
+	var streams [][]candKey
+	for _, par := range []int{1, 8} {
+		opts := ExploreOpts{
+			MaxCandidates:    24,
+			IncludeDesigned:  true,
+			Parallelism:      par,
+			OnCandidateError: SkipAndRecord,
+		}
+		var streamed []Candidate
+		opts.OnCandidate = func(c Candidate) { streamed = append(streamed, c) }
+		got, err := Explore(tr, opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: run aborted: %v", par, err)
+		}
+		if len(got) != len(baseline) {
+			t.Fatalf("parallelism %d: %d candidates, want %d", par, len(got), len(baseline))
+		}
+		if !reflect.DeepEqual(keysOf(streamed), keysOf(got)) {
+			t.Fatalf("parallelism %d: streamed candidates differ from returned ones", par)
+		}
+		for i, c := range got {
+			if c.Vector == victim && !c.Designed {
+				var pe *workpool.PanicError
+				if !errors.As(c.Err, &pe) {
+					t.Fatalf("parallelism %d: victim candidate Err = %v, want *pool.PanicError", par, c.Err)
+				}
+				if pe.Value != "pathological manager vector" || len(pe.Stack) == 0 {
+					t.Fatalf("parallelism %d: PanicError = %+v, want recovered value and stack", par, pe)
+				}
+				continue
+			}
+			if k, b := keysOf(got[i : i+1])[0], keysOf(baseline[i : i+1])[0]; k != b {
+				t.Fatalf("parallelism %d: candidate %d diverged from baseline:\n got %+v\nwant %+v", par, i, k, b)
+			}
+		}
+		streams = append(streams, keysOf(got))
+	}
+	if !reflect.DeepEqual(streams[0], streams[1]) {
+		t.Fatal("skip-and-record streams differ between parallelism 1 and 8")
+	}
+}
+
+// TestPanicFailFast: the default policy surfaces the panic as the run's
+// error — a *pool.PanicError with the recovered value — rather than
+// crashing the process or swallowing it.
+func TestPanicFailFast(t *testing.T) {
+	tr := exploreTrace()
+	baseline, err := Explore(tr, ExploreOpts{MaxCandidates: 24, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEvalPanic(t, baseline[5].Vector)
+
+	for _, par := range []int{1, 8} {
+		got, err := Explore(tr, ExploreOpts{MaxCandidates: 24, Parallelism: par})
+		var pe *workpool.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: err = %v, want *pool.PanicError", par, err)
+		}
+		if pe.Value != "pathological manager vector" {
+			t.Fatalf("parallelism %d: recovered value = %v", par, pe.Value)
+		}
+		// The returned prefix is contiguous and matches the baseline.
+		for i, c := range got {
+			if k, b := keysOf([]Candidate{c})[0], keysOf(baseline[i : i+1])[0]; k != b {
+				t.Fatalf("parallelism %d: prefix candidate %d diverged", par, i)
+			}
+		}
+	}
+}
+
+// captureRun runs one exploration collecting every observable stream:
+// the returned slice, the OnCandidate stream, and (in Pareto mode) the
+// OnFront snapshots.
+type captureRun struct {
+	out    []Candidate
+	stream []Candidate
+	fronts [][]candKey
+	params []Params
+	runErr error
+}
+
+func runCapture(t *testing.T, tr trace.Opener, opts ExploreOpts) *captureRun {
+	t.Helper()
+	cr := &captureRun{}
+	opts.OnCandidate = func(c Candidate) {
+		cr.stream = append(cr.stream, c)
+		cr.params = append(cr.params, c.Params)
+	}
+	if hasWorkObjective(opts.Objectives) {
+		opts.OnFront = func(front []Candidate) {
+			cr.fronts = append(cr.fronts, keysOf(front))
+		}
+	}
+	out, err := NewEngine(0).ExploreSource(context.Background(), tr, opts)
+	cr.out, cr.runErr = out, err
+	return cr
+}
+
+func hasWorkObjective(objs []Objective) bool {
+	for _, o := range objs {
+		if o == ObjectiveWork {
+			return true
+		}
+	}
+	return false
+}
+
+// TestResumeByteIdentical is the checkpoint/resume acceptance pin: an
+// exploration interrupted between generations and resumed — strategy
+// state restored via Snapshot/Restore, already-evaluated candidates
+// re-emitted via Prior — produces byte-identical candidate and front
+// streams to an uninterrupted run, for both GA and NSGA.
+func TestResumeByteIdentical(t *testing.T) {
+	tr := exploreTrace()
+	cfg := search.GAConfig{Population: 8, Generations: 5, Patience: 5}
+	const seed = 17
+
+	cases := []struct {
+		name string
+		mk   func() search.Strategy
+		objs []Objective
+	}{
+		{"ga", func() search.Strategy { return search.NewGA(seed, cfg) }, nil},
+		{"nsga", func() search.Strategy { return search.NewNSGA(seed, cfg) },
+			[]Objective{ObjectiveFootprint, ObjectiveWork}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Uninterrupted reference run.
+			full := runCapture(t, tr, ExploreOpts{
+				Strategy:        tc.mk(),
+				IncludeDesigned: true,
+				Parallelism:     4,
+				Objectives:      tc.objs,
+			})
+			if full.runErr != nil {
+				t.Fatal(full.runErr)
+			}
+
+			// Interrupted run: abort after the second generation, keeping
+			// the strategy snapshot and the candidate prefix — exactly what
+			// a checkpoint stores.
+			errStop := errors.New("interrupted")
+			var snap []byte
+			var prior []Candidate
+			gens := 0
+			interrupted := tc.mk()
+			stopOpts := ExploreOpts{
+				Strategy:        interrupted,
+				IncludeDesigned: true,
+				Parallelism:     4,
+				Objectives:      tc.objs,
+				AfterGeneration: func(cands []Candidate) error {
+					gens++
+					if gens < 2 {
+						return nil
+					}
+					var err error
+					snap, err = interrupted.(search.Snapshotter).Snapshot()
+					if err != nil {
+						return err
+					}
+					prior = append([]Candidate(nil), cands...)
+					return errStop
+				},
+			}
+			if _, err := NewEngine(0).Explore(context.Background(), tr, stopOpts); !errors.Is(err, errStop) {
+				t.Fatalf("interrupted run err = %v, want the injected stop", err)
+			}
+			if snap == nil || len(prior) == 0 {
+				t.Fatal("checkpoint was not captured")
+			}
+
+			// Simulate what a real checkpoint can persist: vectors and
+			// measurements survive; Params do not (they are re-derived) and
+			// error values survive only as messages.
+			for i := range prior {
+				prior[i].Params = Params{}
+				if prior[i].Err != nil {
+					prior[i].Err = errors.New(prior[i].Err.Error())
+				}
+			}
+
+			// Resumed run.
+			restored := tc.mk()
+			if err := restored.(search.Snapshotter).Restore(snap); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			resumed := runCapture(t, tr, ExploreOpts{
+				Strategy:        restored,
+				IncludeDesigned: true,
+				Parallelism:     4,
+				Objectives:      tc.objs,
+				Prior:           prior,
+			})
+			if resumed.runErr != nil {
+				t.Fatal(resumed.runErr)
+			}
+
+			if !reflect.DeepEqual(keysOf(resumed.out), keysOf(full.out)) {
+				t.Fatalf("resumed candidates diverge from uninterrupted run:\n got %d candidates\nwant %d",
+					len(resumed.out), len(full.out))
+			}
+			if !reflect.DeepEqual(keysOf(resumed.stream), keysOf(full.stream)) {
+				t.Fatal("resumed OnCandidate stream diverges from uninterrupted run")
+			}
+			// Params of re-emitted prior candidates are re-derived, so the
+			// streams agree on them too.
+			if !reflect.DeepEqual(resumed.params, full.params) {
+				t.Fatal("resumed candidate Params diverge from uninterrupted run")
+			}
+			if tc.objs != nil && !reflect.DeepEqual(resumed.fronts, full.fronts) {
+				t.Fatalf("resumed OnFront stream diverges: %d snapshots vs %d",
+					len(resumed.fronts), len(full.fronts))
+			}
+		})
+	}
+}
+
+// TestAfterGenerationAbort pins the hook's error contract: a failing
+// AfterGeneration aborts the run with that error and the already-
+// streamed prefix.
+func TestAfterGenerationAbort(t *testing.T) {
+	tr := exploreTrace()
+	boom := errors.New("checkpoint disk full")
+	var streamed int
+	out, err := Explore(tr, ExploreOpts{
+		Strategy:        search.NewGA(3, search.GAConfig{Population: 6, Generations: 4}),
+		Parallelism:     2,
+		OnCandidate:     func(Candidate) { streamed++ },
+		AfterGeneration: func([]Candidate) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the hook's error", err)
+	}
+	if len(out) != streamed {
+		t.Fatalf("returned %d candidates, streamed %d — prefix must match the stream", len(out), streamed)
+	}
+	if len(out) == 0 {
+		t.Fatal("no candidates before the abort; the first generation should have completed")
+	}
+}
+
+// TestPanicMessageMentionsVector: the recorded failure of a panicking
+// candidate is attributable — it carries the pool's panic wording.
+func TestPanicMessageMentionsVector(t *testing.T) {
+	tr := exploreTrace()
+	baseline, err := Explore(tr, ExploreOpts{MaxCandidates: 8, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEvalPanic(t, baseline[2].Vector)
+	got, err := Explore(tr, ExploreOpts{
+		MaxCandidates:    8,
+		Parallelism:      1,
+		OnCandidateError: SkipAndRecord,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got[2]
+	if c.Err == nil || !strings.Contains(c.Err.Error(), "panicked") {
+		t.Fatalf("victim Err = %v, want a panic-attributed error", c.Err)
+	}
+}

@@ -94,3 +94,61 @@ func TestRunNilContext(t *testing.T) {
 		t.Errorf("ran %d of 10", ran.Load())
 	}
 }
+
+func TestRunRecoversPanic(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		var ran atomic.Int32
+		err := Run(context.Background(), par, 64, func(i int) error {
+			ran.Add(1)
+			if i == 5 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: err = %v, want *PanicError", par, err)
+		}
+		if pe.Index != 5 {
+			t.Errorf("parallelism %d: panic index = %d, want 5", par, pe.Index)
+		}
+		if pe.Value != "kaboom" {
+			t.Errorf("parallelism %d: panic value = %v, want kaboom", par, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("parallelism %d: panic stack not captured", par)
+		}
+		if ran.Load() == 64 {
+			t.Errorf("parallelism %d: panic did not stop the pool early", par)
+		}
+	}
+}
+
+func TestRunPanicPrefersLowestIndex(t *testing.T) {
+	// Sequentially the first panicking index must win deterministically.
+	err := Run(context.Background(), 1, 16, func(i int) error {
+		if i >= 3 {
+			panic(i)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 3 {
+		t.Errorf("panic index = %d, want 3", pe.Index)
+	}
+}
+
+func TestRunPanicAtParallelismReportsAPanic(t *testing.T) {
+	// Every job panics: whatever the scheduling, the pool must surface
+	// one of the panics as a *PanicError, never crash the process.
+	err := Run(context.Background(), 8, 32, func(i int) error {
+		panic(i)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}

@@ -85,6 +85,7 @@ func (c *GAConfig) defaults() {
 type GA struct {
 	cfg GAConfig
 	rng *rand.Rand
+	src *countedSource // rng's stream, counted for Snapshot/Restore
 
 	evaluated map[dspace.Vector]Result // fitness cache across generations
 	pop       []Result                 // scored previous generation
@@ -104,9 +105,11 @@ type GA struct {
 // GA).
 func NewGA(seed int64, cfg GAConfig) *GA {
 	cfg.defaults()
+	src := newCountedSource(seed)
 	return &GA{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rand.New(src),
+		src:       src,
 		evaluated: make(map[dspace.Vector]Result),
 	}
 }

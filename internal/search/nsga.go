@@ -35,6 +35,7 @@ import (
 type NSGA struct {
 	cfg GAConfig
 	rng *rand.Rand
+	src *countedSource // rng's stream, counted for Snapshot/Restore
 
 	evaluated map[dspace.Vector]Result // fitness cache across generations
 	pop       []Result                 // survivors of the previous generation
@@ -54,9 +55,11 @@ type NSGA struct {
 // survivor selection is inherently elitist.
 func NewNSGA(seed int64, cfg GAConfig) *NSGA {
 	cfg.defaults()
+	src := newCountedSource(seed)
 	return &NSGA{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rand.New(src),
+		src:       src,
 		evaluated: make(map[dspace.Vector]Result),
 	}
 }

@@ -1,0 +1,342 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dmmkit/internal/dspace"
+)
+
+// Snapshotter is the checkpoint extension of Strategy: a strategy that
+// can serialize its complete exploration state between generations and
+// later restore it into a freshly constructed value, so an interrupted
+// exploration resumes bit-identically.
+//
+// The contract mirrors the engine's generation barrier: Snapshot is only
+// valid between generations (after Observe, before the next Next) and
+// fails mid-generation; Restore must be called on a strategy built with
+// the identical constructor arguments (seed and config) as the one that
+// produced the snapshot — the snapshot carries the strategy kind and
+// seed and Restore rejects mismatches, but the config is the caller's
+// responsibility (the checkpoint file's metadata guards it at the CLI
+// layer). After Restore, the strategy proposes exactly the generations
+// the snapshotted strategy would have proposed next.
+//
+// All strategies of this package (Exhaustive, GA, NSGA) implement it.
+type Snapshotter interface {
+	// Snapshot serializes the strategy's state. It fails when called
+	// mid-generation (between Next and Observe).
+	Snapshot() ([]byte, error)
+	// Restore replaces the strategy's state with a snapshot taken from a
+	// strategy of the same kind, seed and config. It fails — without
+	// corrupting the receiver — on malformed data or a kind/seed
+	// mismatch; it never panics, whatever the input.
+	Restore(data []byte) error
+}
+
+// countedSource wraps the stdlib PRNG stream behind a draw counter so a
+// strategy can record its exact position in the stream (seed + draws
+// consumed) and a restored strategy can fast-forward to that position.
+//
+// It deliberately implements only rand.Source (Int63), not Source64:
+// rand.Rand prefers Uint64 when the source offers it, and hiding it pins
+// every derived draw (Intn, Float64) to the Int63 path, which is what
+// makes the draw count an exact replay cursor. The Int63 values are the
+// ones rand.NewSource yields, so seeded runs reproduce the streams of
+// earlier releases unchanged.
+type countedSource struct {
+	src  rand.Source
+	seed int64
+	n    uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed), seed: seed}
+}
+
+func (s *countedSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countedSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed, s.n = seed, 0
+}
+
+// reset rewinds the stream to its seed and fast-forwards n draws.
+func (s *countedSource) reset(n uint64) {
+	s.src.Seed(s.seed)
+	s.n = 0
+	for s.n < n {
+		s.Int63()
+	}
+}
+
+// vectorState is the wire form of a dspace.Vector: one leaf index per
+// tree, in tree order.
+type vectorState [dspace.NumTrees]uint8
+
+func vectorToState(v dspace.Vector) vectorState {
+	var s vectorState
+	for t := 0; t < dspace.NumTrees; t++ {
+		s[t] = uint8(v.Get(dspace.Tree(t)))
+	}
+	return s
+}
+
+// vector decodes the wire form, rejecting out-of-range leaves so a
+// forged snapshot cannot smuggle an invalid genome into a search.
+func (s vectorState) vector() (dspace.Vector, error) {
+	var v dspace.Vector
+	for t := 0; t < dspace.NumTrees; t++ {
+		if int(s[t]) >= dspace.LeafCount(dspace.Tree(t)) {
+			return v, fmt.Errorf("search: tree %v has no leaf %d", dspace.Tree(t), s[t])
+		}
+		v.Set(dspace.Tree(t), dspace.Leaf(s[t]))
+	}
+	return v, nil
+}
+
+// resultState is the wire form of a Result.
+type resultState struct {
+	Vector    vectorState `json:"v"`
+	Footprint int64       `json:"f"`
+	Work      int64       `json:"w"`
+	Failed    bool        `json:"x,omitempty"`
+}
+
+func resultToState(r Result) resultState {
+	return resultState{Vector: vectorToState(r.Vector), Footprint: r.Footprint, Work: r.Work, Failed: r.Failed}
+}
+
+func (s resultState) result() (Result, error) {
+	v, err := s.Vector.vector()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Vector: v, Footprint: s.Footprint, Work: s.Work, Failed: s.Failed}, nil
+}
+
+func resultsToState(rs []Result) []resultState {
+	out := make([]resultState, len(rs))
+	for i, r := range rs {
+		out[i] = resultToState(r)
+	}
+	return out
+}
+
+func resultsFromState(ss []resultState) ([]Result, error) {
+	out := make([]Result, len(ss))
+	for i, s := range ss {
+		r, err := s.result()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// evaluatedToState serializes the fitness cache sorted by genome, so the
+// snapshot bytes are deterministic for a given state (map iteration
+// order never leaks into the file).
+func evaluatedToState(m map[dspace.Vector]Result) []resultState {
+	out := make([]resultState, 0, len(m))
+	for _, r := range m {
+		out = append(out, resultToState(r))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Vector, out[j].Vector
+		for t := range a {
+			if a[t] != b[t] {
+				return a[t] < b[t]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// geneticSnapshot is the serialized state shared by GA and NSGA; Kind
+// discriminates the two (and Front travels only with NSGA).
+type geneticSnapshot struct {
+	Kind      string        `json:"kind"`
+	Seed      int64         `json:"seed"`
+	Draws     uint64        `json:"draws"`
+	Evaluated []resultState `json:"evaluated"`
+	Pop       []resultState `json:"pop"`
+	Front     []resultState `json:"front,omitempty"`
+	Gen       int           `json:"gen"`
+	Stale     int           `json:"stale"`
+	Best      *resultState  `json:"best,omitempty"`
+	Exhausted bool          `json:"exhausted,omitempty"`
+	Done      bool          `json:"done,omitempty"`
+}
+
+// decodeGenetic parses and validates a genetic snapshot against the
+// restoring strategy's kind and seed.
+func decodeGenetic(data []byte, kind string, seed int64) (*geneticSnapshot, error) {
+	var snap geneticSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("search: decoding %s snapshot: %w", kind, err)
+	}
+	if snap.Kind != kind {
+		return nil, fmt.Errorf("search: snapshot is from a %q strategy, restoring into %q", snap.Kind, kind)
+	}
+	if snap.Seed != seed {
+		return nil, fmt.Errorf("search: snapshot was seeded with %d, strategy with %d", snap.Seed, seed)
+	}
+	return &snap, nil
+}
+
+// Snapshot implements Snapshotter: it serializes the GA's complete state
+// (RNG position, fitness cache, scored population, convergence counters)
+// between generations.
+func (g *GA) Snapshot() ([]byte, error) {
+	if g.current != nil {
+		return nil, fmt.Errorf("search: GA snapshot mid-generation (call between Observe and Next)")
+	}
+	snap := geneticSnapshot{
+		Kind:      "ga",
+		Seed:      g.src.seed,
+		Draws:     g.src.n,
+		Evaluated: evaluatedToState(g.evaluated),
+		Pop:       resultsToState(g.pop),
+		Gen:       g.gen,
+		Stale:     g.stale,
+		Exhausted: g.exhausted,
+		Done:      g.done,
+	}
+	if g.haveBest {
+		b := resultToState(g.best)
+		snap.Best = &b
+	}
+	return json.Marshal(snap)
+}
+
+// Restore implements Snapshotter. The receiver must have been built with
+// NewGA using the snapshot's seed and the original config.
+func (g *GA) Restore(data []byte) error {
+	snap, err := decodeGenetic(data, "ga", g.src.seed)
+	if err != nil {
+		return err
+	}
+	evaluated := make(map[dspace.Vector]Result, len(snap.Evaluated))
+	for _, s := range snap.Evaluated {
+		r, err := s.result()
+		if err != nil {
+			return err
+		}
+		evaluated[r.Vector] = r
+	}
+	pop, err := resultsFromState(snap.Pop)
+	if err != nil {
+		return err
+	}
+	var best Result
+	if snap.Best != nil {
+		if best, err = snap.Best.result(); err != nil {
+			return err
+		}
+	}
+	g.src.reset(snap.Draws)
+	g.evaluated = evaluated
+	g.pop = pop
+	g.current, g.pending = nil, nil
+	g.gen = snap.Gen
+	g.stale = snap.Stale
+	g.best, g.haveBest = best, snap.Best != nil
+	g.exhausted = snap.Exhausted
+	g.done = snap.Done
+	return nil
+}
+
+// Snapshot implements Snapshotter: NSGA state is the GA's plus the
+// archive Pareto front (which must round-trip as a sequence — its
+// first-seen tie-breaks depend on insertion history, so it cannot be
+// rebuilt from the unordered fitness cache).
+func (n *NSGA) Snapshot() ([]byte, error) {
+	if n.current != nil {
+		return nil, fmt.Errorf("search: NSGA snapshot mid-generation (call between Observe and Next)")
+	}
+	snap := geneticSnapshot{
+		Kind:      "nsga",
+		Seed:      n.src.seed,
+		Draws:     n.src.n,
+		Evaluated: evaluatedToState(n.evaluated),
+		Pop:       resultsToState(n.pop),
+		Front:     resultsToState(n.front.Results()),
+		Gen:       n.gen,
+		Stale:     n.stale,
+		Exhausted: n.exhausted,
+		Done:      n.done,
+	}
+	return json.Marshal(snap)
+}
+
+// Restore implements Snapshotter. The receiver must have been built with
+// NewNSGA using the snapshot's seed and the original config.
+func (n *NSGA) Restore(data []byte) error {
+	snap, err := decodeGenetic(data, "nsga", n.src.seed)
+	if err != nil {
+		return err
+	}
+	evaluated := make(map[dspace.Vector]Result, len(snap.Evaluated))
+	for _, s := range snap.Evaluated {
+		r, err := s.result()
+		if err != nil {
+			return err
+		}
+		evaluated[r.Vector] = r
+	}
+	pop, err := resultsFromState(snap.Pop)
+	if err != nil {
+		return err
+	}
+	frontResults, err := resultsFromState(snap.Front)
+	if err != nil {
+		return err
+	}
+	var front ParetoFront
+	for _, r := range frontResults {
+		front.Add(r)
+	}
+	n.src.reset(snap.Draws)
+	n.evaluated = evaluated
+	n.pop = pop
+	n.front = front
+	n.current, n.pending = nil, nil
+	n.gen = snap.Gen
+	n.stale = snap.Stale
+	n.exhausted = snap.Exhausted
+	n.done = snap.Done
+	return nil
+}
+
+// exhaustiveSnapshot is the serialized state of Exhaustive: whether the
+// single sample generation was already proposed.
+type exhaustiveSnapshot struct {
+	Kind     string `json:"kind"`
+	Proposed bool   `json:"proposed"`
+}
+
+// Snapshot implements Snapshotter.
+func (e *Exhaustive) Snapshot() ([]byte, error) {
+	return json.Marshal(exhaustiveSnapshot{Kind: "exhaustive", Proposed: e.proposed})
+}
+
+// Restore implements Snapshotter.
+func (e *Exhaustive) Restore(data []byte) error {
+	var snap exhaustiveSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("search: decoding exhaustive snapshot: %w", err)
+	}
+	if snap.Kind != "exhaustive" {
+		return fmt.Errorf("search: snapshot is from a %q strategy, restoring into %q", snap.Kind, "exhaustive")
+	}
+	e.proposed = snap.Proposed
+	return nil
+}

@@ -1,0 +1,75 @@
+package trace
+
+import "context"
+
+// WithContext wraps src so its Next fails with the context's error once
+// ctx is cancelled — the hook that lets a CLI reading a multi-gigabyte
+// trace stop promptly on SIGINT instead of finishing the pass. The
+// wrapper forwards Name, Close and (when src knows its length) the
+// Sized extension; cancellation latches, and the underlying source is
+// closed when it fires so no handle outlives the abort.
+func WithContext(ctx context.Context, src Source) Source {
+	cs := &contextSource{ctx: ctx, src: src}
+	if s, ok := src.(Sized); ok {
+		return &sizedContextSource{contextSource: cs, sized: s}
+	}
+	return cs
+}
+
+type contextSource struct {
+	ctx  context.Context
+	src  Source
+	done bool
+	err  error
+}
+
+func (s *contextSource) Name() string { return s.src.Name() }
+
+func (s *contextSource) Next() (Event, bool, error) {
+	if s.done {
+		return Event{}, false, s.err
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.done, s.err = true, err
+		Close(s.src)
+		return Event{}, false, err
+	}
+	return s.src.Next()
+}
+
+// Close implements io.Closer by delegating to the wrapped source.
+func (s *contextSource) Close() error {
+	s.done = true
+	return Close(s.src)
+}
+
+// sizedContextSource adds the Sized extension when the wrapped source
+// has it, so preallocation hints survive the wrapping.
+type sizedContextSource struct {
+	*contextSource
+	sized Sized
+}
+
+func (s *sizedContextSource) EventCount() int { return s.sized.EventCount() }
+
+// SinkWithContext wraps sink so WriteEvent fails with the context's
+// error once ctx is cancelled — the write-side dual of WithContext, for
+// generators piping a long trace to disk. Begin is forwarded as-is (it
+// runs once, before any meaningful work).
+func SinkWithContext(ctx context.Context, sink EventSink) EventSink {
+	return &contextSink{ctx: ctx, sink: sink}
+}
+
+type contextSink struct {
+	ctx  context.Context
+	sink EventSink
+}
+
+func (s *contextSink) Begin(name string) error { return s.sink.Begin(name) }
+
+func (s *contextSink) WriteEvent(e Event) error {
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	return s.sink.WriteEvent(e)
+}

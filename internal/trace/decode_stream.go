@@ -4,9 +4,9 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
-	"os"
 )
 
 // DecodeBinarySource returns a Source that decodes a binary trace (DMMT1
@@ -23,10 +23,11 @@ import (
 // callers that need a full Trace.Validate must materialize via
 // DecodeBinary.
 func DecodeBinarySource(r io.Reader) (Source, error) {
-	br, ok := r.(*bufio.Reader)
+	bufr, ok := r.(*bufio.Reader)
 	if !ok {
-		br = bufio.NewReader(r)
+		bufr = bufio.NewReader(r)
 	}
+	br := &crcReader{br: bufr}
 	magic := make([]byte, magicLen)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
@@ -64,9 +65,36 @@ func DecodeBinarySource(r io.Reader) (Source, error) {
 	return &binarySource2{binarySource: binarySource{br: br, name: string(name)}}, nil
 }
 
+// crcReader folds every byte it yields into a running CRC-32C, so the
+// DMMT2 decoder can verify the stream's trailing checksum without a
+// second pass. It implements io.Reader and io.ByteReader over the
+// buffered stream; the checksum trailer itself is read from the
+// underlying br directly, bypassing the accumulation.
+type crcReader struct {
+	br  *bufio.Reader
+	crc uint32
+	one [1]byte
+}
+
+func (r *crcReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return b, err
+	}
+	r.one[0] = b
+	r.crc = crc32.Update(r.crc, castagnoli, r.one[:1])
+	return b, nil
+}
+
+func (r *crcReader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	r.crc = crc32.Update(r.crc, castagnoli, p[:n])
+	return n, err
+}
+
 // binarySource holds the state the two format versions share.
 type binarySource struct {
-	br   *bufio.Reader
+	br   *crcReader
 	name string
 	i    uint64 // events decoded so far
 	last int64  // previous event's tick
@@ -211,6 +239,21 @@ func (s *binarySource2) Next() (Event, bool, error) {
 		if count != s.i {
 			return s.finish(fmt.Errorf("trace: trailer count %d, decoded %d events (truncated or corrupt stream)", count, s.i))
 		}
+		// The optional CRC-32C trailer covers every byte before it. It is
+		// read off the underlying reader so it does not hash itself;
+		// streams from releases that predate the checksum end at the
+		// count and are accepted as-is.
+		want := s.br.crc
+		var sum [crcLen]byte
+		if n, err := io.ReadFull(s.br.br, sum[:]); err != nil {
+			if err == io.EOF && n == 0 {
+				return s.finish(nil) // legacy stream without a checksum
+			}
+			return s.finish(fmt.Errorf("trace: reading checksum: %w", err))
+		}
+		if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+			return s.finish(fmt.Errorf("trace: checksum mismatch: trailer %08x, stream %08x (corrupt trace)", got, want))
+		}
 		return s.finish(nil)
 	}
 	e := Event{Kind: Kind(kb)}
@@ -272,24 +315,43 @@ type File struct {
 	path   string
 	name   string
 	events int // -1 when the format does not record a count (DMMT2)
+	opts   FileOpts
 }
 
 // OpenFile probes path's header and returns a File. The file must be a
 // binary trace (DMMT1 or DMMT2); JSON traces have no streaming decoder —
-// load them fully instead.
+// load them fully instead. Transient open and probe failures (see
+// IsTransient) are retried under DefaultRetry — a long exploration
+// should not die to one interrupted syscall; use OpenFileWith to tune
+// or disable that.
 func OpenFile(path string) (*File, error) {
-	fh, err := os.Open(path)
+	return OpenFileWith(path, FileOpts{Retry: DefaultRetry})
+}
+
+// OpenFileWith is OpenFile with explicit seams: opts.Open replaces
+// os.Open (for every pass, not just the probe) and opts.Retry bounds
+// how transient failures are retried.
+func OpenFileWith(path string, opts FileOpts) (*File, error) {
+	f := &File{path: path, events: -1, opts: opts}
+	err := opts.Retry.retry(func() error {
+		fh, err := opts.open(path)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		src, err := DecodeBinarySource(fh)
+		if err != nil {
+			return fmt.Errorf("trace: %s: %w", path, err)
+		}
+		f.name = src.Name()
+		f.events = -1
+		if s, ok := src.(Sized); ok {
+			f.events = s.EventCount()
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer fh.Close()
-	src, err := DecodeBinarySource(fh)
-	if err != nil {
-		return nil, fmt.Errorf("trace: %s: %w", path, err)
-	}
-	f := &File{path: path, name: src.Name(), events: -1}
-	if s, ok := src.(Sized); ok {
-		f.events = s.EventCount()
 	}
 	return f, nil
 }
@@ -304,22 +366,32 @@ func (f *File) Events() int { return f.events }
 // Open implements Opener: it opens a fresh handle on the file and
 // returns a streaming source over it. The source closes the handle when
 // the stream ends (exhaustion or decode error); abandon it early with
-// Close. Open is safe for concurrent use.
+// Close. Open is safe for concurrent use. Transient open and header
+// failures retry under the File's policy (see OpenFileWith); handles are
+// never leaked on an error path.
 func (f *File) Open() (Source, error) {
-	fh, err := os.Open(f.path)
+	var src Source
+	err := f.opts.Retry.retry(func() error {
+		fh, err := f.opts.open(f.path)
+		if err != nil {
+			return err
+		}
+		s, err := DecodeBinarySource(fh)
+		if err != nil {
+			fh.Close()
+			return fmt.Errorf("trace: %s: %w", f.path, err)
+		}
+		switch bs := s.(type) {
+		case *binarySource1:
+			bs.c = fh
+		case *binarySource2:
+			bs.c = fh
+		}
+		src = s
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	src, err := DecodeBinarySource(fh)
-	if err != nil {
-		fh.Close()
-		return nil, fmt.Errorf("trace: %s: %w", f.path, err)
-	}
-	switch s := src.(type) {
-	case *binarySource1:
-		s.c = fh
-	case *binarySource2:
-		s.c = fh
 	}
 	return src, nil
 }

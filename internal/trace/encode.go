@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -17,8 +18,10 @@ import (
 //     cost 10 bytes each.
 //   - DMMT2 (see Encoder) has no up-front count — it is streamable — and
 //     zigzag-encodes the signed fields (Tag, Phase, tick deltas). The
-//     stream ends with a 0xFF marker byte followed by the event count,
-//     which doubles as a truncation check.
+//     stream ends with a 0xFF marker byte followed by the event count
+//     (a truncation check) and a trailing CRC-32C over all preceding
+//     bytes (a corruption check; optional on read, for streams written
+//     by releases that predate it).
 //
 // DecodeBinary and DecodeBinarySource read both formats transparently.
 const (
@@ -32,12 +35,19 @@ const (
 
 	// maxNameLen bounds the header's name field against crafted input.
 	maxNameLen = 1 << 16
+	// crcLen is the size of the DMMT2 trailing CRC-32C checksum.
+	crcLen = 4
 	// maxEventCount bounds the DMMT1 header count against crafted input,
 	// and maxPrealloc bounds what DecodeBinary preallocates from it (a
 	// forged count must not reserve gigabytes before the first event).
 	maxEventCount = 1 << 30
 	maxPrealloc   = 1 << 20
 )
+
+// castagnoli is the CRC-32C polynomial table shared by the DMMT2 encoder
+// and decoder. Castagnoli rather than IEEE for its better burst-error
+// detection (and hardware support on common targets).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // EncodeBinary writes the trace in the legacy DMMT1 binary format.
 // EncodeBinary2 writes the more compact, streamable DMMT2 format; both

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -20,7 +21,11 @@ import (
 // through 10-byte two's-complement wraparound (negative tags and phases,
 // backward tick deltas) cost their natural varint length here. The stream
 // ends with a 0xFF marker followed by the event count as a uvarint, which
-// lets the decoder detect truncated files.
+// lets the decoder detect truncated files, and then a CRC-32C checksum
+// (4 bytes, little-endian) over every preceding byte of the stream, which
+// lets it detect bit corruption the structural checks cannot (a flipped
+// bit inside a varint decodes to a different, equally valid value). The
+// decoder accepts streams from older releases that end at the count.
 //
 // Use it as: NewEncoder, Begin, WriteEvent..., Close. Close writes the
 // end marker and flushes; it does not close the underlying writer.
@@ -29,7 +34,8 @@ type Encoder struct {
 	begun  bool
 	closed bool
 	count  uint64
-	last   int64 // previous event's tick
+	last   int64  // previous event's tick
+	crc    uint32 // running CRC-32C over every byte written
 	buf    [binary.MaxVarintLen64]byte
 }
 
@@ -42,16 +48,27 @@ func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{w: bw}
 }
 
+// write sends p to the stream, folding it into the running checksum;
+// every stream byte before the checksum itself must pass through here.
+func (enc *Encoder) write(p []byte) error {
+	enc.crc = crc32.Update(enc.crc, castagnoli, p)
+	_, err := enc.w.Write(p)
+	return err
+}
+
+func (enc *Encoder) writeByte(b byte) error {
+	enc.buf[0] = b
+	return enc.write(enc.buf[:1])
+}
+
 func (enc *Encoder) putUvarint(v uint64) error {
 	n := binary.PutUvarint(enc.buf[:], v)
-	_, err := enc.w.Write(enc.buf[:n])
-	return err
+	return enc.write(enc.buf[:n])
 }
 
 func (enc *Encoder) putVarint(v int64) error {
 	n := binary.PutVarint(enc.buf[:], v)
-	_, err := enc.w.Write(enc.buf[:n])
-	return err
+	return enc.write(enc.buf[:n])
 }
 
 // Begin writes the stream header. It must be called exactly once, before
@@ -61,14 +78,13 @@ func (enc *Encoder) Begin(name string) error {
 		return fmt.Errorf("trace: Encoder.Begin called twice")
 	}
 	enc.begun = true
-	if _, err := enc.w.WriteString(binaryMagic2); err != nil {
+	if err := enc.write([]byte(binaryMagic2)); err != nil {
 		return err
 	}
 	if err := enc.putUvarint(uint64(len(name))); err != nil {
 		return err
 	}
-	_, err := enc.w.WriteString(name)
-	return err
+	return enc.write([]byte(name))
 }
 
 // WriteEvent appends one event to the stream. Events that could not be
@@ -92,7 +108,7 @@ func (enc *Encoder) WriteEvent(e Event) error {
 	if e.Kind == KindAlloc && e.Size <= 0 {
 		return fmt.Errorf("trace: encoding event %d: alloc size %d", enc.count, e.Size)
 	}
-	if err := enc.w.WriteByte(byte(e.Kind)); err != nil {
+	if err := enc.writeByte(byte(e.Kind)); err != nil {
 		return err
 	}
 	if err := enc.putUvarint(uint64(e.ID)); err != nil {
@@ -120,9 +136,9 @@ func (enc *Encoder) WriteEvent(e Event) error {
 // Count returns the number of events written so far.
 func (enc *Encoder) Count() int { return int(enc.count) }
 
-// Close terminates the stream (end marker plus event count) and flushes
-// the write buffer. It does not close the underlying writer. Close is
-// idempotent; WriteEvent fails after it.
+// Close terminates the stream (end marker, event count, CRC-32C
+// checksum) and flushes the write buffer. It does not close the
+// underlying writer. Close is idempotent; WriteEvent fails after it.
 func (enc *Encoder) Close() error {
 	if enc.closed {
 		return nil
@@ -131,10 +147,16 @@ func (enc *Encoder) Close() error {
 		return fmt.Errorf("trace: Encoder.Close before Begin")
 	}
 	enc.closed = true
-	if err := enc.w.WriteByte(endMarker); err != nil {
+	if err := enc.writeByte(endMarker); err != nil {
 		return err
 	}
 	if err := enc.putUvarint(enc.count); err != nil {
+		return err
+	}
+	// The checksum covers everything before it, count included; it is the
+	// one piece of the stream written outside enc.write.
+	binary.LittleEndian.PutUint32(enc.buf[:4], enc.crc)
+	if _, err := enc.w.Write(enc.buf[:4]); err != nil {
 		return err
 	}
 	return enc.w.Flush()

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+	"time"
+)
+
+// IsTransient reports whether err looks like a transient I/O failure
+// worth retrying: anything in its chain either implements
+// Transient() bool and says so (the marker faultio's injected transient
+// faults carry, available to custom trace.Opener implementations too),
+// or is one of the syscall errors the kernel hands out for "try again"
+// conditions (EINTR, EAGAIN). Hard failures — ENOENT, EACCES, corrupt
+// headers — are not transient: retrying them only delays the report.
+func IsTransient(err error) bool {
+	var marker interface{ Transient() bool }
+	if errors.As(err, &marker) {
+		return marker.Transient()
+	}
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
+
+// RetryPolicy bounds how OpenFile and (*File).Open retry transient
+// failures: up to Attempts tries in total, sleeping Backoff before the
+// first retry and doubling it each time. The zero value retries nothing.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (1 or less means a single try,
+	// i.e. no retry).
+	Attempts int
+	// Backoff is the sleep before the first retry; each further retry
+	// doubles it. Zero means retry immediately.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep in tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the policy OpenFile applies: three tries with a
+// 10ms-then-20ms backoff, enough to ride out interrupted syscalls and
+// momentary contention without stalling a hard failure's report.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 10 * time.Millisecond}
+
+// retry runs fn up to p.Attempts times, backing off between tries, until
+// it succeeds or fails non-transiently. The last error is returned.
+func (p RetryPolicy) retry(fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := p.Backoff
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			sleep(backoff)
+			backoff *= 2
+		}
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// FileOpts customizes how OpenFileWith (and the *File it returns) reach
+// the underlying file — the seams fault-injection tests and exotic
+// storage backends hook into.
+type FileOpts struct {
+	// Open replaces os.Open for both the header probe and every
+	// (*File).Open pass. Nil means os.Open.
+	Open func(path string) (io.ReadCloser, error)
+	// Retry bounds the retries of transient open/probe failures. The zero
+	// policy disables retrying; OpenFile passes DefaultRetry.
+	Retry RetryPolicy
+}
+
+func (o FileOpts) open(path string) (io.ReadCloser, error) {
+	if o.Open != nil {
+		return o.Open(path)
+	}
+	return os.Open(path)
+}

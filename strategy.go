@@ -21,6 +21,13 @@ type (
 	// FixedLeaves pins decision trees to specific leaves, restricting a
 	// strategy to a subspace.
 	FixedLeaves = search.Fixed
+	// SearchSnapshotter is the optional strategy extension behind
+	// checkpoint/resume: Snapshot serializes the strategy's complete
+	// state between generations, Restore rebuilds it so the resumed
+	// search continues byte-identically. All built-in strategies
+	// implement it; see EXTENDING.md for the contract custom strategies
+	// must meet.
+	SearchSnapshotter = search.Snapshotter
 )
 
 // NewGASearch returns a deterministic seeded genetic search strategy:
