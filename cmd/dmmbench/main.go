@@ -79,9 +79,12 @@ func main() {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			if err := f5.WriteCSV(f); err != nil {
+				_ = f.Close() // the write error is the one worth reporting
 				return err
+			}
+			if err := f.Close(); err != nil {
+				return err // buffered CSV rows may be lost
 			}
 			fmt.Printf("series written to %s\n", *csv)
 		}
@@ -157,9 +160,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dmmbench: bench: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		if err := rep.WriteBenchJSON(f); err != nil {
+			_ = f.Close()
 			fmt.Fprintf(os.Stderr, "dmmbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmmbench: bench: closing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
 		fmt.Printf("benchmark baseline written to %s (%d rows)\n", *jsonPath, len(rep.Rows))

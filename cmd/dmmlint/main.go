@@ -1,0 +1,113 @@
+// Command dmmlint runs dmmkit's determinism/hygiene/cancellation
+// analyzer suite (internal/analysis: detrand, maporder, closecheck,
+// ctxflow, pkgdoc) over Go packages.
+//
+// Two modes share one binary:
+//
+//   - vettool: go vet drives dmmlint through the unitchecker protocol,
+//     one package at a time:
+//
+//     go vet -vettool=$(command -v dmmlint) ./...
+//
+//   - standalone: any other invocation re-execs `go vet` with itself as
+//     the vettool, so the familiar spelling just works:
+//
+//     dmmlint ./...
+//     dmmlint -detrand.pkgs=dmmkit/internal/core/... ./...
+//
+// Analyzer flags (-detrand.pkgs, -ctxflow.pkgs) pass through in both
+// modes. Exit status is non-zero when any diagnostic is reported, so CI
+// can gate on it directly.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"dmmkit/internal/analysis"
+)
+
+func main() {
+	if vetToolInvocation(os.Args[1:]) {
+		unitchecker.Main(analysis.All()...) // does not return
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// vetToolInvocation reports whether the process was started by go vet
+// speaking the unitchecker protocol: a -V=full version probe, a -flags
+// query, or a single *.cfg unit file (possibly after analyzer flags).
+func vetToolInvocation(args []string) bool {
+	for _, a := range args {
+		switch {
+		case a == "-V=full", a == "--V=full", a == "-flags", a == "--flags":
+			return true
+		case strings.HasSuffix(a, ".cfg"):
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-invokes go vet with this binary as the vettool, passing
+// every argument (package patterns and analyzer flags) through. With no
+// package pattern it defaults to ./... so bare `dmmlint` lints the
+// module from the current directory.
+func standalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmlint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	hasPattern := false
+	for _, a := range args {
+		if a == "-h" || a == "--help" || a == "-help" {
+			usage()
+			return 0
+		}
+		if !strings.HasPrefix(a, "-") {
+			hasPattern = true
+		}
+	}
+	if !hasPattern {
+		args = append(args, "./...")
+	}
+	vet := append([]string{"vet", "-vettool=" + exe}, args...)
+	cmd := exec.Command("go", vet...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "dmmlint: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `dmmlint: dmmkit determinism/hygiene/cancellation lint suite
+
+Usage:
+  dmmlint [analyzer flags] [package patterns]      (default pattern ./...)
+  go vet -vettool=$(command -v dmmlint) ./...
+
+Analyzers:
+`)
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, `
+Key flags:
+  -detrand.pkgs   deterministic package list (default: the engine set)
+  -ctxflow.pkgs   cancellation-checked package list (default: core,trace)
+
+See docs/EXTENDING.md "Determinism invariants & lint rules".
+`)
+}

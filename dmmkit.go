@@ -381,7 +381,7 @@ func LoadTrace(path string) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read path: a close failure after a full decode is moot
 	t, binErr := trace.DecodeBinary(f)
 	if binErr == nil {
 		if err := t.Validate(); err != nil {

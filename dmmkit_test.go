@@ -108,7 +108,9 @@ func TestLoadTraceRoundTrip(t *testing.T) {
 	if err := tr.EncodeBinary(f); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 	got, err := dmmkit.LoadTrace(binPath)
 	if err != nil {
 		t.Fatalf("LoadTrace(binary): %v", err)
@@ -125,7 +127,9 @@ func TestLoadTraceRoundTrip(t *testing.T) {
 	if err := tr.EncodeJSON(f); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 	got, err = dmmkit.LoadTrace(jsonPath)
 	if err != nil {
 		t.Fatalf("LoadTrace(json): %v", err)

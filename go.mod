@@ -1,3 +1,11 @@
 module dmmkit
 
 go 1.24
+
+// The container building this repo has no network access, so the
+// analysis framework is vendored from the Go toolchain's own
+// cmd/vendor copy (same version go vet itself uses) and wired in via a
+// local replace. See third_party/golang.org/x/tools/README.md.
+replace golang.org/x/tools => ./third_party/golang.org/x/tools
+
+require golang.org/x/tools v0.0.0-00010101000000-000000000000

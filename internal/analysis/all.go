@@ -1,0 +1,16 @@
+package analysis
+
+import "golang.org/x/tools/go/analysis"
+
+// All returns the full dmmlint suite in stable order. cmd/dmmlint and
+// the fixture tests are the only intended consumers; adding an analyzer
+// here is all it takes to ship it in the CI gate.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Detrand,
+		MapOrder,
+		CloseCheck,
+		CtxFlow,
+		PkgDoc,
+	}
+}

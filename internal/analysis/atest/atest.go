@@ -1,0 +1,233 @@
+// Package atest is an offline reimplementation of the
+// golang.org/x/tools/go/analysis/analysistest fixture harness. The real
+// analysistest depends on go/packages (which shells out to the go
+// command and is not part of the toolchain's vendored x/tools subset
+// this repo builds against), so atest drives analyzers directly: it
+// parses a fixture package under testdata/src/<pkg>, type-checks it with
+// the stdlib source importer (fixtures may import only the standard
+// library), runs the analyzer's Requires closure by hand, and matches
+// reported diagnostics against analysistest-style expectations:
+//
+//	f.Close() // want `Close\(\) error .* is discarded`
+//
+// Each `// want` comment carries one or more double-quoted regular
+// expressions that must match, in any order, the diagnostics reported on
+// that line. Unmatched expectations and unexpected diagnostics both fail
+// the test.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// One fileset and source importer for the whole test binary: the source
+// importer re-type-checks stdlib imports from source, which is the
+// expensive part, and its cache is only valid within a single fset.
+var (
+	sharedFset     = token.NewFileSet()
+	sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// Run loads testdata/src/<pkg> relative to dir, applies flags to the
+// analyzer (restoring defaults afterwards), runs it, and checks the
+// diagnostics against the fixture's // want comments. The fixture's
+// package path is exactly pkg, so path-scoped analyzers can be aimed at
+// it through their -pkgs flags.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string, flags map[string]string) {
+	t.Helper()
+	for name, value := range flags {
+		f := a.Flags.Lookup(name)
+		if f == nil {
+			t.Fatalf("analyzer %s has no flag -%s", a.Name, name)
+		}
+		old := f.Value.String()
+		if err := f.Value.Set(value); err != nil {
+			t.Fatalf("setting -%s.%s=%s: %v", a.Name, name, value, err)
+		}
+		defer func() { _ = f.Value.Set(old) }()
+	}
+
+	fixdir := filepath.Join(dir, "src", pkg)
+	files, err := parseDir(fixdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpkg, info, err := typecheck(pkg, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	if err := runWithRequires(a, files, tpkg, info, &diags, map[*analysis.Analyzer]interface{}{}); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, files, diags)
+}
+
+func parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("atest: reading fixture dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("atest: no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func typecheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: sharedImporter}
+	tpkg, err := conf.Check(path, sharedFset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("atest: type-checking fixture %s: %w", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// runWithRequires runs a's Requires closure depth-first, then a itself,
+// threading results and appending a's diagnostics to diags.
+func runWithRequires(a *analysis.Analyzer, files []*ast.File, pkg *types.Package, info *types.Info, diags *[]analysis.Diagnostic, results map[*analysis.Analyzer]interface{}) error {
+	for _, req := range a.Requires {
+		if _, done := results[req]; done {
+			continue
+		}
+		if err := runWithRequires(req, files, pkg, info, nil, results); err != nil {
+			return err
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       sharedFset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   results,
+		Report: func(d analysis.Diagnostic) {
+			if diags != nil {
+				*diags = append(*diags, d)
+			}
+		},
+		ImportObjectFact:  func(obj types.Object, fact analysis.Fact) bool { return false },
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool { return false },
+		ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
+		ExportPackageFact: func(fact analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		ReadFile:          os.ReadFile,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.Name, err)
+	}
+	results[a] = res
+	return nil
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quoteRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkWants cross-matches diagnostics against // want comments.
+func checkWants(t *testing.T, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := sharedFset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quoteRe.FindAllString(m[1], -1) {
+					var pat string
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+						}
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := sharedFset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", k, w.rx)
+			}
+		}
+	}
+}

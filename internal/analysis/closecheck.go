@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// CloseCheck flags Close() calls whose error result is silently
+// discarded — as a statement (`f.Close()`) or deferred bare
+// (`defer f.Close()`). On write paths a failed Close is the write
+// failure (buffered data, DMMT2 trailers and checkpoint trailers land
+// in Close), so dropping it is the partial-output bug class PR 5/6
+// fixed by hand in the CLIs. Read paths must opt out explicitly:
+//
+//	_ = f.Close()                         // statement form
+//	defer func() { _ = f.Close() }()      // deferred form
+//
+// so the discard is visible in review instead of accidental.
+var CloseCheck = &analysis.Analyzer{
+	Name:     "closecheck",
+	Doc:      "flag Close() calls whose error is silently discarded",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCloseCheck,
+}
+
+func runCloseCheck(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.ExprStmt)(nil), (*ast.DeferStmt)(nil), (*ast.GoStmt)(nil)}, func(n ast.Node) {
+		var call *ast.CallExpr
+		deferred := false
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = st.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = st.Call, true
+		case *ast.GoStmt:
+			call = st.Call
+		}
+		if call == nil || !isErrorClose(pass, call) {
+			return
+		}
+		recv := "value"
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok {
+				recv = types.TypeString(tv.Type, types.RelativeTo(pass.Pkg))
+			}
+		}
+		if deferred {
+			pass.Reportf(call.Pos(),
+				"deferred Close() on %s discards its error; use `defer func() { _ = x.Close() }()` on read paths or join the error on write paths", recv)
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"Close() error on %s is discarded; check it (a failed Close loses buffered writes) or discard explicitly with `_ =`", recv)
+	})
+	return nil, nil
+}
+
+// isErrorClose reports whether call invokes a method named Close with
+// signature func() error.
+func isErrorClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Close" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		sig.Results().At(0).Type().String() == "error"
+}

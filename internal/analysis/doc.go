@@ -1,0 +1,35 @@
+// Package analysis is dmmkit's static-analysis suite: five
+// golang.org/x/tools/go/analysis analyzers that mechanically enforce the
+// invariants every PR so far has staked by hand — byte-identical results
+// at any parallelism, on resume, and under injected faults — plus the
+// partial-output hygiene and cancellation contracts of the CLIs and the
+// engine.
+//
+// The analyzers:
+//
+//   - detrand: in deterministic packages, forbids the global math/rand
+//     convenience functions and wall-clock reads (time.Now/Since/Until);
+//     randomness must flow through a seeded *rand.Rand
+//     (rand.New(rand.NewSource(seed))) so runs replay bit-identically.
+//   - maporder: flags `for range` over a map whose body feeds an ordered
+//     consumer (appends to a slice, sends on a channel, writes to an
+//     EventSink/io.Writer, invokes a callback) — the one Go construct
+//     that can silently desync the in-order candidate streams. Collect
+//     the keys, sort them, then walk the sorted slice.
+//   - closecheck: flags Close() calls whose error is discarded — the
+//     exact bug class PR 5/6 fixed by hand in the CLIs (a failed Close
+//     on a write path silently truncates output). Discarding must be
+//     explicit: `_ = f.Close()`.
+//   - ctxflow: in the engine packages, exported functions that consume
+//     an event or candidate stream (a Source.Next loop, a loop over
+//     Candidates) must accept a context.Context and actually use it, so
+//     new engine paths cannot ship uncancellable.
+//   - pkgdoc: every package must carry package-level documentation (the
+//     former internal/tools/checkdocs gate, folded into the suite so CI
+//     has one lint entry point).
+//
+// All five are wired into cmd/dmmlint, which runs standalone
+// (`dmmlint ./...`) or as `go vet -vettool=$(which dmmlint) ./...`.
+// Fixture-driven tests live under testdata/src and run through the
+// offline harness in the atest subpackage.
+package analysis

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapOrder flags `for range` over a map whose body feeds an ordered
+// consumer: appends to a slice, sends on a channel, writes through an
+// EventSink/io.Writer-shaped method, or invokes a callback value. Go
+// randomizes map iteration order per run, so any of these silently
+// desyncs the repo's in-order candidate and event streams.
+//
+// Recognized blessed patterns (not flagged):
+//
+//   - collect-then-sort: a body that only appends keys/values to slices
+//     is fine when every such slice is passed to a sort.*/slices.Sort*
+//     call later in the same enclosing block;
+//   - per-iteration state: appends, writes and sends whose destination
+//     is declared inside the loop body cannot leak iteration order;
+//   - table tests: calling the range value (or key) itself — the
+//     map-of-functions idiom — invokes each entry once rather than
+//     feeding an ordered consumer.
+var MapOrder = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map iteration feeding slices, channels, writers or callbacks without a sort",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rng := n.(*ast.RangeStmt)
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rng, stack)
+		return true
+	})
+	return nil, nil
+}
+
+type appendSite struct {
+	key  string // canonical destination expression, e.g. "g.order"
+	node ast.Node
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	var appended []appendSite
+	seen := map[string]bool{}
+	var violation ast.Node
+	what := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if violation != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if declaredWithin(pass, n.Chan, rng) {
+				return true
+			}
+			violation, what = n, "sends on a channel"
+			return false
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			// append(dst, ...) — remember the destination.
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					if b.Name() == "append" && len(n.Args) > 0 {
+						dst := ast.Unparen(n.Args[0])
+						if declaredWithin(pass, dst, rng) {
+							return true
+						}
+						key, ok := exprKey(dst)
+						if !ok {
+							violation, what = n, "appends in map-iteration order"
+							return false
+						}
+						if !seen[key] {
+							seen[key] = true
+							appended = append(appended, appendSite{key, n})
+						}
+					}
+					return true
+				}
+			}
+			if fn := calleeFunc(pass, n); fn != nil {
+				if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+					if writerMethod(fn.Name(), sig) && !receiverDeclaredWithin(pass, fun, rng) {
+						violation, what = n, "writes through "+fn.Name()+" in map-iteration order"
+						return false
+					}
+					return true
+				}
+				// fmt.Fprint* into an io.Writer is a write too.
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+					if len(n.Args) > 0 && declaredWithin(pass, n.Args[0], rng) {
+						return true
+					}
+					violation, what = n, "writes via fmt."+fn.Name()+" in map-iteration order"
+					return false
+				}
+				return true
+			}
+			// Call of a function-typed value: a callback observes order —
+			// unless the callee is the range variable itself (the
+			// map-of-functions table idiom: each entry runs once).
+			if obj, name := callbackObject(pass, fun); obj != nil {
+				if isRangeVar(pass, rng, obj) || declaredWithin(pass, fun, rng) {
+					return true
+				}
+				violation, what = n, "invokes callback "+name+" in map-iteration order"
+				return false
+			}
+		}
+		return true
+	})
+	if violation != nil {
+		pass.Reportf(violation.Pos(),
+			"%s inside `for range` over a map; map order is randomized — collect keys, sort, then iterate the sorted slice", what)
+		return
+	}
+	// Pure collectors: every appended-to slice must be sorted after the
+	// loop in the enclosing block, or the collected order still leaks.
+	for _, site := range appended {
+		if !sortedAfter(pass, rng, stack, site.key) {
+			pass.Reportf(site.node.Pos(),
+				"appends %s in map-iteration order and never sorts it; sort %s after the loop (sort.* / slices.Sort*)",
+				site.key, site.key)
+		}
+	}
+}
+
+// exprKey canonicalizes an identifier/selector chain ("x", "g.order",
+// "p.Sizes") so append destinations can be matched against later sort
+// arguments. Reports ok=false for expressions with calls or indexing,
+// which cannot be matched reliably.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// rootObject resolves the leftmost identifier of an expression to its
+// object, so "declared inside the loop" can be decided for b, b.buf,
+// (&b).buf alike.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the expression's root object is
+// declared inside the range statement — per-iteration state that cannot
+// leak map order.
+func declaredWithin(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	obj := rootObject(pass, e)
+	return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// receiverDeclaredWithin is declaredWithin for a method call's receiver.
+func receiverDeclaredWithin(pass *analysis.Pass, fun ast.Expr, rng *ast.RangeStmt) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return declaredWithin(pass, sel.X, rng)
+}
+
+// callbackObject reports the variable object a call expression invokes
+// when the callee is a function-typed value (not a declared func or
+// method), along with its display name.
+func callbackObject(pass *analysis.Pass, fun ast.Expr) (types.Object, string) {
+	var id *ast.Ident
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil, ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	if _, isSig := v.Type().Underlying().(*types.Signature); !isSig {
+		return nil, ""
+	}
+	return v, id.Name
+}
+
+// isRangeVar reports whether obj is the range statement's key or value
+// variable.
+func isRangeVar(pass *analysis.Pass, rng *ast.RangeStmt, obj types.Object) bool {
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && pass.TypesInfo.Defs[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// writerMethod reports whether a method looks like an ordered byte/event
+// consumer: the io.Writer / trace.EventSink / encoder shape.
+func writerMethod(name string, sig *types.Signature) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteEvent", "Encode":
+		// Must return an error (possibly after a count) — distinguishes
+		// real sinks from coincidentally named pure helpers.
+		res := sig.Results()
+		if res.Len() == 0 {
+			return false
+		}
+		return res.At(res.Len()-1).Type().String() == "error"
+	}
+	return false
+}
+
+// sortedAfter reports whether the canonical destination key is passed to
+// a sort.*/slices.Sort* call in a statement after rng inside the nearest
+// enclosing block on the stack. A heuristic (same block, lexically
+// after), but it covers the canonical collect-keys-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node, key string) bool {
+	var block []ast.Stmt
+	for i := len(stack) - 1; i >= 0 && block == nil; i-- {
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			block = b.List
+		case *ast.CaseClause:
+			block = b.Body
+		case *ast.CommClause:
+			block = b.Body
+		}
+	}
+	after := false
+	for _, st := range block {
+		if st == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if k, ok := exprKey(arg); ok && k == key {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

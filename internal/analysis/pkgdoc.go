@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// PkgDoc requires package-level documentation: at least one non-test
+// file in the package must carry a doc comment on its package clause, so
+// `go doc` explains the layer without reading the paper. This is the
+// former internal/tools/checkdocs CI gate, reborn as an analyzer so the
+// whole lint suite has a single entry point (cmd/dmmlint).
+var PkgDoc = &analysis.Analyzer{
+	Name: "pkgdoc",
+	Doc:  "require package-level documentation on every package",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *analysis.Pass) (interface{}, error) {
+	// External test packages (foo_test) and synthesized test mains
+	// document nothing on their own; the real package is checked when
+	// vet visits it.
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") || strings.HasSuffix(pass.Pkg.Path(), ".test") {
+		return nil, nil
+	}
+	var first *ast.File
+	firstName := ""
+	sawNonTest := false
+	for _, f := range pass.Files {
+		name := pass.Fset.File(f.Pos()).Name()
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		sawNonTest = true
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return nil, nil
+		}
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	if !sawNonTest || first == nil {
+		return nil, nil // test-only compilation unit
+	}
+	pass.Reportf(first.Package,
+		"package %s has no package-level documentation; add a doc comment on a package clause (see doc.go convention)", pass.Pkg.Name())
+	return nil, nil
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "strings"
+
+// matchPkg reports whether the package import path matches any pattern
+// in the comma-separated list. A pattern matches when it equals the
+// path exactly, or — with a trailing "/..." — when the path is the
+// pattern's prefix or any package below it. Patterns are full import
+// paths ("dmmkit/internal/core"), so fixture packages and forks can
+// retarget an analyzer by overriding its -pkgs flag.
+func matchPkg(path, patterns string) bool {
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == rest || strings.HasPrefix(path, rest+"/") {
+				return true
+			}
+			continue
+		}
+		if path == pat {
+			return true
+		}
+	}
+	return false
+}

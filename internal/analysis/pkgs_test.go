@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+func TestMatchPkg(t *testing.T) {
+	cases := []struct {
+		path, patterns string
+		want           bool
+	}{
+		{"dmmkit/internal/core", DetPkgs, true},
+		{"dmmkit/internal/trace", DetPkgs, true},
+		{"dmmkit/internal/workloads/drr", DetPkgs, true},
+		{"dmmkit/internal/workloads", DetPkgs, true},
+		{"dmmkit/internal/experiments", DetPkgs, false},
+		{"dmmkit/internal/corex", DetPkgs, false},
+		{"dmmkit/internal/core/sub", DetPkgs, false},
+		{"dmmkit/internal/core", "dmmkit/internal/core/...", true},
+		{"dmmkit/internal/core/sub", "dmmkit/internal/core/...", true},
+		{"anything", "", false},
+		{"a", "a, b", true},
+		{"b", "a, b", true},
+	}
+	for _, c := range cases {
+		if got := matchPkg(c.path, c.patterns); got != c.want {
+			t.Errorf("matchPkg(%q, %q) = %v, want %v", c.path, c.patterns, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dmmkit/internal/analysis"
+	"dmmkit/internal/analysis/atest"
+)
+
+// Each analyzer runs over its fixture package under testdata/src; the
+// fixtures carry // want comments for every violation and compile the
+// blessed patterns next to them so suppressions are pinned too.
+
+func TestDetrand(t *testing.T) {
+	atest.Run(t, "testdata", analysis.Detrand, "detrandfix",
+		map[string]string{"pkgs": "detrandfix"})
+}
+
+func TestDetrandScopedToConfiguredPackages(t *testing.T) {
+	// A fixture outside the configured -pkgs list must yield zero
+	// diagnostics (pkgdocok has no wants, so any report fails the run).
+	atest.Run(t, "testdata", analysis.Detrand, "pkgdocok",
+		map[string]string{"pkgs": "dmmkit/internal/core"})
+}
+
+func TestMapOrder(t *testing.T) {
+	atest.Run(t, "testdata", analysis.MapOrder, "maporderfix", nil)
+}
+
+func TestCloseCheck(t *testing.T) {
+	atest.Run(t, "testdata", analysis.CloseCheck, "closecheckfix", nil)
+}
+
+func TestCtxFlow(t *testing.T) {
+	atest.Run(t, "testdata", analysis.CtxFlow, "ctxflowfix",
+		map[string]string{"pkgs": "ctxflowfix"})
+}
+
+func TestPkgDoc(t *testing.T) {
+	atest.Run(t, "testdata", analysis.PkgDoc, "pkgdocfix", nil)
+}
+
+func TestPkgDocDocumented(t *testing.T) {
+	atest.Run(t, "testdata", analysis.PkgDoc, "pkgdocok", nil)
+}
+
+func TestAllStable(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	}
+	names := []string{"detrand", "maporder", "closecheck", "ctxflow", "pkgdoc"}
+	for i, a := range all {
+		if a.Name != names[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, names[i])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package closecheckfix exercises the closecheck analyzer: silently
+// discarded Close() errors are violations; checked or explicitly
+// discarded ones are blessed.
+package closecheckfix
+
+import (
+	"errors"
+	"os"
+)
+
+// Encoder is a stand-in for the trace/checkpoint encoders whose Close
+// flushes buffered state and the format trailer.
+type Encoder struct{ closed bool }
+
+// Close flushes and closes the encoder.
+func (e *Encoder) Close() error {
+	e.closed = true
+	return nil
+}
+
+// NoError has a Close without an error result; closecheck must ignore
+// it (nothing is discarded).
+type NoError struct{}
+
+// Close has nothing to report.
+func (NoError) Close() {}
+
+// DiscardStatement drops the Close error on the floor.
+func DiscardStatement(path string) {
+	f, _ := os.Open(path)
+	f.Close() // want `Close\(\) error on \*os\.File is discarded`
+}
+
+// DiscardDefer drops it via a bare defer.
+func DiscardDefer(path string) {
+	f, _ := os.Open(path)
+	defer f.Close() // want `deferred Close\(\) on \*os\.File discards its error`
+}
+
+// DiscardEncoder drops an encoder's trailer write.
+func DiscardEncoder(enc *Encoder) {
+	enc.Close() // want `Close\(\) error on \*Encoder is discarded`
+}
+
+// ExplicitDiscard is the blessed read-path pattern: the discard is
+// visible in review.
+func ExplicitDiscard(path string) {
+	f, _ := os.Open(path)
+	_ = f.Close()
+}
+
+// ExplicitDeferDiscard is the blessed deferred form.
+func ExplicitDeferDiscard(path string) {
+	f, _ := os.Open(path)
+	defer func() { _ = f.Close() }()
+}
+
+// CheckedClose is the blessed write-path pattern.
+func CheckedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// CloselessClose: a Close returning nothing has no error to lose.
+func CloselessClose(n NoError) {
+	n.Close()
+}

@@ -1,0 +1,126 @@
+// Package ctxflowfix exercises the ctxflow analyzer: exported functions
+// draining a caller-supplied stream must take and use a context.
+package ctxflowfix
+
+import "context"
+
+// Event is a stand-in for the trace event record.
+type Event struct{ ID int64 }
+
+// Candidate is a stand-in for the explore result record.
+type Candidate struct{ Footprint int64 }
+
+// Source mirrors the trace.Source iterator shape.
+type Source interface {
+	Next() (Event, bool, error)
+}
+
+// Opener mirrors trace.Opener: one fresh pass per Open.
+type Opener interface {
+	Open() (Source, error)
+}
+
+// Replay drains a caller-supplied stream with no way to cancel it.
+func Replay(src Source) (int, error) { // want `exported Replay consumes an event/candidate stream but has no context\.Context`
+	n := 0
+	for {
+		_, ok, err := src.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// ReplayIgnoredCtx takes a context and then strands it.
+func ReplayIgnoredCtx(ctx context.Context, src Source) (int, error) { // want `exported ReplayIgnoredCtx takes ctx but never checks or forwards it`
+	n := 0
+	for {
+		_, ok, err := src.Next()
+		if err != nil || !ok {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ReplayCtx is the blessed pattern: the loop checks ctx directly.
+func ReplayCtx(ctx context.Context, src Source) (int, error) {
+	n := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		_, ok, err := src.Next()
+		if err != nil || !ok {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ReplayForwarded is also blessed: ctx is forwarded into a wrapper that
+// owns the cancellation check (the WithContext idiom).
+func ReplayForwarded(ctx context.Context, op Opener) (int, error) {
+	src, err := op.Open()
+	if err != nil {
+		return 0, err
+	}
+	src = withContext(ctx, src)
+	n := 0
+	for {
+		_, ok, err := src.Next()
+		if err != nil || !ok {
+			return n, err
+		}
+		n++
+	}
+}
+
+// DrainCandidates ranges a candidate channel with no cancellation.
+func DrainCandidates(ch <-chan Candidate) int64 { // want `exported DrainCandidates consumes an event/candidate stream but has no context\.Context`
+	var total int64
+	for c := range ch {
+		total += c.Footprint
+	}
+	return total
+}
+
+// FoldCandidates is a bounded in-memory walk over already-evaluated
+// candidates: no caller-supplied stream, so no ctx is required.
+func FoldCandidates(cands []Candidate) int64 {
+	var total int64
+	for _, c := range cands {
+		total += c.Footprint
+	}
+	return total
+}
+
+// drain is unexported: internal helpers inherit cancellation from their
+// exported callers and are not flagged.
+func drain(src Source) {
+	for {
+		if _, ok, _ := src.Next(); !ok {
+			return
+		}
+	}
+}
+
+type ctxSource struct {
+	ctx context.Context
+	src Source
+}
+
+func (c ctxSource) Next() (Event, bool, error) {
+	if err := c.ctx.Err(); err != nil {
+		return Event{}, false, err
+	}
+	return c.src.Next()
+}
+
+func withContext(ctx context.Context, src Source) Source {
+	return ctxSource{ctx: ctx, src: src}
+}

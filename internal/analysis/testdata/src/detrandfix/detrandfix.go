@@ -1,0 +1,48 @@
+// Package detrandfix exercises the detrand analyzer: global math/rand
+// and wall-clock reads are violations; seeded generators are blessed.
+package detrandfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// GlobalRand uses the shared global generator: every call site makes the
+// result depend on process history and goroutine interleaving.
+func GlobalRand() int {
+	n := rand.Intn(10)                 // want `global math/rand\.Intn breaks deterministic replay`
+	f := rand.Float64()                // want `global math/rand\.Float64 breaks deterministic replay`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand\.Shuffle breaks deterministic replay`
+	_ = rand.Perm(4)                   // want `global math/rand\.Perm breaks deterministic replay`
+	_ = f
+	return int(rand.Int63()) // want `global math/rand\.Int63 breaks deterministic replay`
+}
+
+// GlobalRandV2 checks the math/rand/v2 path too.
+func GlobalRandV2() int {
+	return randv2.IntN(10) // want `global math/rand/v2\.IntN breaks deterministic replay`
+}
+
+// SeededRand is the blessed pattern: an explicitly seeded generator
+// threaded through the call chain. Constructor calls and methods on the
+// seeded *rand.Rand are fine.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	n := r.Intn(10)
+	r2 := randv2.New(randv2.NewPCG(1, 2))
+	return n + r2.IntN(10)
+}
+
+// WallClock reads the wall clock in a deterministic package.
+func WallClock() int64 {
+	t0 := time.Now()    // want `time\.Now in deterministic package detrandfix`
+	d := time.Since(t0) // want `time\.Since in deterministic package detrandfix`
+	return int64(d)
+}
+
+// TimeValuesOK: using time types and constants without reading the
+// clock is fine.
+func TimeValuesOK(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}

@@ -1,0 +1,126 @@
+// Package maporderfix exercises the maporder analyzer: map iteration
+// feeding ordered consumers is a violation; collect-then-sort and
+// per-iteration state are blessed.
+package maporderfix
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is a stand-in for the trace event record.
+type Event struct{ ID int64 }
+
+// EventSink mirrors the trace package's ordered event consumer.
+type EventSink interface {
+	Begin(name string) error
+	WriteEvent(e Event) error
+}
+
+// AppendUnsorted leaks map order into the returned slice.
+func AppendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends out in map-iteration order and never sorts it`
+	}
+	return out
+}
+
+// AppendSorted is the blessed collect-then-sort pattern.
+func AppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FieldAppendSorted blesses the same pattern through a struct field.
+type holder struct{ order []int }
+
+func FieldAppendSorted(m map[int]bool) holder {
+	var h holder
+	for k := range m {
+		h.order = append(h.order, k)
+	}
+	sort.Ints(h.order)
+	return h
+}
+
+// SendOnChannel leaks map order into a channel.
+func SendOnChannel(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `sends on a channel inside .for range. over a map`
+	}
+}
+
+// WriteToSink leaks map order into an EventSink.
+func WriteToSink(m map[int64]Event, sink EventSink) error {
+	for _, e := range m {
+		if err := sink.WriteEvent(e); err != nil { // want `writes through WriteEvent in map-iteration order`
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteToWriter leaks map order into an io.Writer.
+func WriteToWriter(m map[string]int, w io.Writer) {
+	for k := range m {
+		w.Write([]byte(k)) // want `writes through Write in map-iteration order`
+	}
+}
+
+// FprintfWriter leaks map order through fmt.
+func FprintfWriter(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `writes via fmt\.Fprintf in map-iteration order`
+	}
+}
+
+// Callback invokes a fixed callback per entry: the callback observes
+// map order.
+func Callback(m map[string]int, fn func(string)) {
+	for k := range m {
+		fn(k) // want `invokes callback fn in map-iteration order`
+	}
+}
+
+// PerIterationBuffer is blessed: the destination is declared inside the
+// loop body, so nothing ordered escapes an iteration.
+func PerIterationBuffer(m map[string]int) int {
+	total := 0
+	for k := range m {
+		var buf bytes.Buffer
+		buf.WriteString(k)
+		var tmp []byte
+		tmp = append(tmp, k...)
+		total += buf.Len() + len(tmp)
+	}
+	return total
+}
+
+// TableCall is the blessed map-of-functions table idiom: calling the
+// range value itself runs each entry once rather than feeding an
+// ordered consumer.
+func TableCall(table map[string]func() error) error {
+	for _, fn := range table {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PureAggregation never materializes an order: commutative folds over a
+// map are fine.
+func PureAggregation(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,5 @@
+package pkgdocfix // want `package pkgdocfix has no package-level documentation`
+
+// Exported is documented, but the package clause is not — the pkgdoc
+// gate requires a package-level doc comment.
+func Exported() int { return 1 }

@@ -1,0 +1,6 @@
+// Package pkgdocok carries a package-level doc comment, so the pkgdoc
+// analyzer stays quiet.
+package pkgdocok
+
+// Exported does nothing interesting.
+func Exported() int { return 1 }

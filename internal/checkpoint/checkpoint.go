@@ -91,7 +91,7 @@ func FileIdentity(path string) (TraceIdentity, error) {
 	if err != nil {
 		return TraceIdentity{}, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read path: the hash saw every byte or Copy errored
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
 		return TraceIdentity{}, fmt.Errorf("checkpoint: hashing %s: %w", path, err)
@@ -257,7 +257,7 @@ func Save(path string, s *State) error {
 	}
 	tmpName := tmp.Name()
 	cleanup := func() {
-		tmp.Close()
+		_ = tmp.Close() // error path: the temp file is removed next anyway
 		os.Remove(tmpName)
 	}
 	if _, err := tmp.Write(data); err != nil {

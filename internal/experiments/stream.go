@@ -101,7 +101,7 @@ func RunStream(ctx context.Context, cfg Config) (*StreamResult, error) {
 	}
 	defer os.Remove(f.Name())
 	if err := tr.EncodeBinary2(f); err != nil {
-		f.Close()
+		_ = f.Close() // encode error supersedes any close error
 		return nil, err
 	}
 	if err := f.Close(); err != nil {

@@ -338,7 +338,7 @@ func OpenFileWith(path string, opts FileOpts) (*File, error) {
 		if err != nil {
 			return err
 		}
-		defer fh.Close()
+		defer func() { _ = fh.Close() }() // header probe: read-only pass
 		src, err := DecodeBinarySource(fh)
 		if err != nil {
 			return fmt.Errorf("trace: %s: %w", path, err)
@@ -378,7 +378,7 @@ func (f *File) Open() (Source, error) {
 		}
 		s, err := DecodeBinarySource(fh)
 		if err != nil {
-			fh.Close()
+			_ = fh.Close() // the decode error is the one to surface
 			return fmt.Errorf("trace: %s: %w", f.path, err)
 		}
 		switch bs := s.(type) {

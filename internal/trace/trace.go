@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"slices"
 )
 
 // Kind distinguishes allocation from deallocation events.
@@ -172,12 +173,15 @@ func (b *Builder) Free(id int64) {
 	b.emit(Event{Kind: KindFree, ID: id, Phase: b.phase, Tick: b.tick})
 }
 
-// LiveIDs returns the currently live allocation IDs (order unspecified).
+// LiveIDs returns the currently live allocation IDs in ascending order,
+// so callers that emit or compare the live set see a deterministic
+// sequence regardless of map iteration order.
 func (b *Builder) LiveIDs() []int64 {
 	out := make([]int64, 0, len(b.live))
 	for id := range b.live {
 		out = append(out, id)
 	}
+	slices.Sort(out)
 	return out
 }
 
