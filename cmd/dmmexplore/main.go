@@ -60,75 +60,13 @@ import (
 	"io/fs"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
 	"text/tabwriter"
 
 	"dmmkit"
+	"dmmkit/internal/cliopts"
 	"dmmkit/internal/textplot"
 )
-
-// validStrategies lists the accepted -strategy values, in help order.
-var validStrategies = []string{"exhaustive", "ga", "nsga"}
-
-// resolveMode validates the -strategy and -objectives flags together and
-// returns the parsed objectives plus whether the run is multi-objective.
-// It is called before any workload is built, so a bad flag fails fast
-// with a usage error instead of after seconds of trace generation.
-//
-// An empty objectives string means "the strategy's natural default":
-// footprint alone for exhaustive and ga, footprint+work for nsga. The
-// nsga strategy requires Pareto mode — it has no scalar fitness to
-// optimize footprint alone.
-func resolveMode(strategy, objectives string) (objs []dmmkit.Objective, multi bool, err error) {
-	valid := false
-	for _, s := range validStrategies {
-		if strategy == s {
-			valid = true
-			break
-		}
-	}
-	if !valid {
-		return nil, false, fmt.Errorf("unknown -strategy %q (valid: %s)", strategy, strings.Join(validStrategies, ", "))
-	}
-	if objectives == "" && strategy == "nsga" {
-		objectives = "footprint,work"
-	}
-	objs, err = dmmkit.ParseObjectives(objectives)
-	if err != nil {
-		return nil, false, fmt.Errorf("bad -objectives: %v (valid: footprint or footprint,work)", err)
-	}
-	hasWork, hasFootprint := false, false
-	for _, o := range objs {
-		switch o {
-		case dmmkit.ObjectiveWork:
-			hasWork = true
-		case dmmkit.ObjectiveFootprint:
-			hasFootprint = true
-		}
-	}
-	if hasWork && !hasFootprint {
-		return nil, false, fmt.Errorf("bad -objectives %q: work alone is not supported (valid: footprint or footprint,work)", objectives)
-	}
-	if strategy == "nsga" && !hasWork {
-		return nil, false, fmt.Errorf("-strategy nsga is multi-objective; use -objectives footprint,work")
-	}
-	return objs, hasWork, nil
-}
-
-// objectivesKey canonicalizes an objective list for the checkpoint meta
-// (sorted, so "work,footprint" and "footprint,work" resume each other).
-func objectivesKey(objs []dmmkit.Objective) string {
-	if len(objs) == 0 {
-		return "footprint"
-	}
-	names := make([]string, len(objs))
-	for i, o := range objs {
-		names[i] = o.String()
-	}
-	sort.Strings(names)
-	return strings.Join(names, ",")
-}
 
 // setupCheckpoint wires checkpoint writing (and, with resume, state
 // restoration) into the exploration options. The strategy must
@@ -230,7 +168,7 @@ func main() {
 		workload    = flag.String("workload", "", "generate and explore a registered workload: "+strings.Join(dmmkit.Workloads(), ", "))
 		tracePath   = flag.String("trace", "", "explore a trace file, streaming it from disk per candidate (out-of-core; binary traces never materialize)")
 		seed        = flag.Int64("seed", 1, "seed for the workload generator and the genetic strategies (identical seed = identical run)")
-		strategy    = flag.String("strategy", "exhaustive", "search strategy: "+strings.Join(validStrategies, ", "))
+		strategy    = flag.String("strategy", "exhaustive", "search strategy: "+strings.Join(cliopts.ValidStrategies, ", "))
 		objectives  = flag.String("objectives", "", "optimization axes: footprint or footprint,work (default: footprint; footprint,work for nsga)")
 		candidates  = flag.Int("candidates", 96, "evaluation budget: stride-sample size (exhaustive) or max evaluations (ga, nsga)")
 		population  = flag.Int("population", 24, "GA/NSGA individuals per generation")
@@ -247,8 +185,10 @@ func main() {
 	flag.Parse()
 
 	// Validate the search flags before the (potentially slow) workload
-	// build, so a typo fails instantly with a usage error.
-	objs, multi, err := resolveMode(*strategy, *objectives)
+	// build, so a typo fails instantly with a usage error. The shared
+	// cliopts validation keeps these messages identical to the ones
+	// dmmserve returns for the same bad input.
+	objs, multi, err := cliopts.ResolveMode(*strategy, *objectives)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
 		os.Exit(2)
@@ -330,24 +270,29 @@ func main() {
 		Objectives:       objs,
 		OnCandidateError: errPolicy,
 	}
+	// Build the strategy through the same constructor dmmserve uses, so
+	// a job request with these parameters reproduces this run exactly.
+	// For exhaustive the engine would default to the same strategy with
+	// Strategy nil; constructing it explicitly also gives -checkpoint a
+	// handle to snapshot.
+	opts.Strategy, err = cliopts.NewStrategy(*strategy, cliopts.SearchConfig{
+		Seed:        *seed,
+		Population:  *population,
+		Generations: *generations,
+		Budget:      *candidates,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmmexplore: %v\n", err)
+		os.Exit(2)
+	}
 	switch *strategy {
 	case "exhaustive":
 		fmt.Printf("exploring up to %d of %d candidates against %s...\n\n",
 			*candidates, dmmkit.SpaceSize(), traceLine)
 	case "ga":
-		opts.Strategy = dmmkit.NewGASearch(*seed, dmmkit.GASearchConfig{
-			Population:     *population,
-			Generations:    *generations,
-			MaxEvaluations: *candidates,
-		})
 		fmt.Printf("genetic search (seed %d, population %d, <= %d generations, <= %d evaluations) over %d valid vectors against %s...\n\n",
 			*seed, *population, *generations, *candidates, dmmkit.SpaceSize(), traceLine)
 	case "nsga":
-		opts.Strategy = dmmkit.NewNSGASearch(*seed, dmmkit.GASearchConfig{
-			Population:     *population,
-			Generations:    *generations,
-			MaxEvaluations: *candidates,
-		})
 		fmt.Printf("NSGA-II multi-objective search (seed %d, population %d, <= %d generations, <= %d evaluations) for the footprint×work front over %d valid vectors against %s...\n\n",
 			*seed, *population, *generations, *candidates, dmmkit.SpaceSize(), traceLine)
 	}
@@ -363,7 +308,7 @@ func main() {
 			Population:     *population,
 			Generations:    *generations,
 			MaxEvaluations: *candidates,
-			Objectives:     objectivesKey(objs),
+			Objectives:     cliopts.ObjectivesKey(objs),
 			Trace:          identity,
 		}
 		if err := setupCheckpoint(&opts, meta, *ckptPath, *ckptEvery, *resume); err != nil {

@@ -1,79 +1,76 @@
 package main
 
 import (
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
-	"dmmkit"
+	"dmmkit/internal/cliopts"
 )
 
-// TestResolveModeRejectsUnknownStrategy pins the fast-fail contract: an
-// unknown -strategy value is a usage error naming the valid options, and
-// it is detected before any workload is built.
-func TestResolveModeRejectsUnknownStrategy(t *testing.T) {
-	for _, bad := range []string{"", "GA", "genetic", "exhaustive ", "nsga2"} {
-		_, _, err := resolveMode(bad, "")
-		if err == nil {
-			t.Errorf("strategy %q accepted", bad)
-			continue
-		}
-		for _, want := range validStrategies {
-			if !strings.Contains(err.Error(), want) {
-				t.Errorf("strategy %q: error %q does not list valid option %q", bad, err, want)
-			}
-		}
+// buildCLI compiles dmmexplore once per test binary and returns the
+// executable path. The unit-level validation tests live in
+// internal/cliopts; what this package pins is the wiring — the built
+// command really routes bad flags through the shared validation and
+// exits with a usage error.
+var buildCLI = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "dmmexplore-test-*")
+	if err != nil {
+		return "", err
 	}
-}
+	bin := filepath.Join(dir, "dmmexplore")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", &exec.Error{Name: "go build: " + string(out), Err: err}
+	}
+	return bin, nil
+})
 
-// TestResolveModeRejectsMalformedObjectives pins the same contract for
-// -objectives: unknown names, duplicates and trailing commas are usage
-// errors, and work-only runs are refused.
-func TestResolveModeRejectsMalformedObjectives(t *testing.T) {
-	for _, bad := range []string{"latency", "footprint,footprint", "footprint,", "work", ",work"} {
-		if _, _, err := resolveMode("exhaustive", bad); err == nil {
-			t.Errorf("objectives %q accepted", bad)
-		}
+// TestUsageErrorsMatchSharedValidation runs the built command with bad
+// search flags and requires exit status 2 and, on stderr, the exact
+// message internal/cliopts produces — the same string dmmserve returns
+// as the 400 body for the equivalent job request (pinned from the
+// server side by internal/server tests). One vocabulary, one voice.
+func TestUsageErrorsMatchSharedValidation(t *testing.T) {
+	bin, err := buildCLI()
+	if err != nil {
+		t.Fatalf("building dmmexplore: %v", err)
 	}
-	// nsga has no scalar mode.
-	if _, _, err := resolveMode("nsga", "footprint"); err == nil {
-		t.Error("nsga with footprint-only objectives accepted")
-	}
-}
+	t.Cleanup(func() { _ = os.RemoveAll(filepath.Dir(bin)) }) // test teardown
 
-// TestResolveModeDefaults pins the per-strategy objective defaults: the
-// scalar strategies default to footprint only, nsga to footprint,work.
-func TestResolveModeDefaults(t *testing.T) {
 	cases := []struct {
+		name                 string
 		strategy, objectives string
-		wantMulti            bool
 	}{
-		{"exhaustive", "", false},
-		{"ga", "", false},
-		{"nsga", "", true},
-		{"exhaustive", "footprint,work", true},
-		{"ga", "work,footprint", true},
-		{"nsga", "footprint,work", true},
-		{"exhaustive", "footprint", false},
+		{"unknown strategy", "genetic", ""},
+		{"empty strategy", "", ""},
+		{"bad objectives", "ga", "latency"},
+		{"work alone", "exhaustive", "work"},
+		{"nsga scalar", "nsga", "footprint"},
 	}
 	for _, c := range cases {
-		objs, multi, err := resolveMode(c.strategy, c.objectives)
-		if err != nil {
-			t.Errorf("resolveMode(%q, %q): %v", c.strategy, c.objectives, err)
-			continue
-		}
-		if multi != c.wantMulti {
-			t.Errorf("resolveMode(%q, %q) multi = %v, want %v", c.strategy, c.objectives, multi, c.wantMulti)
-		}
-		if multi {
-			hasWork := false
-			for _, o := range objs {
-				if o == dmmkit.ObjectiveWork {
-					hasWork = true
-				}
+		t.Run(c.name, func(t *testing.T) {
+			_, _, wantErr := cliopts.ResolveMode(c.strategy, c.objectives)
+			if wantErr == nil {
+				t.Fatalf("cliopts accepts strategy=%q objectives=%q; bad test case", c.strategy, c.objectives)
 			}
-			if !hasWork {
-				t.Errorf("resolveMode(%q, %q) multi without work objective", c.strategy, c.objectives)
+			cmd := exec.Command(bin,
+				"-workload", "drr", "-strategy", c.strategy, "-objectives", c.objectives)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want usage-error exit, got err=%v output=%s", err, out)
 			}
-		}
+			if code := ee.ExitCode(); code != 2 {
+				t.Errorf("exit code %d, want 2; output: %s", code, out)
+			}
+			if want := "dmmexplore: " + wantErr.Error(); !strings.Contains(string(out), want) {
+				t.Errorf("stderr %q does not contain the shared validation message %q", out, want)
+			}
+		})
 	}
 }

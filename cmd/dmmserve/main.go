@@ -1,0 +1,155 @@
+// Command dmmserve serves the design-space exploration engine over
+// HTTP/JSON: upload traces, launch explore/profile jobs, stream their
+// candidate events live, and fetch results — the same deterministic
+// engine dmmexplore drives, behind a bounded job manager.
+//
+// Endpoints (all under /v1):
+//
+//	POST   /v1/traces          upload a DMMT trace (raw body, CRC-verified)
+//	POST   /v1/jobs            launch a job (JSON; same vocabulary as dmmexplore flags)
+//	GET    /v1/jobs            list retained jobs
+//	GET    /v1/jobs/{id}       job status and result
+//	GET    /v1/jobs/{id}/events  NDJSON (or SSE via Accept) event stream
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/metrics         job counters and windowed latencies
+//	GET    /v1/registry        registered workloads, managers, strategies
+//
+// A job submitted with the same trace, strategy, seed and budget as a
+// dmmexplore invocation returns the byte-identical candidate stream,
+// best point and Pareto front, at any -workers or job parallelism.
+//
+// SIGINT/SIGTERM shuts down gracefully: queued jobs are cancelled and
+// running explorations checkpoint their full search state into -spool
+// at the next generation boundary (resumable with dmmexplore -resume);
+// jobs still running when -grace expires are hard-cancelled. A clean
+// drain exits 0.
+//
+// Usage:
+//
+//	dmmserve -addr 127.0.0.1:8377 -spool /var/tmp/dmm -workers 4
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmmkit/internal/server/api"
+	"dmmkit/internal/server/jobs"
+
+	// Populate the workload and manager registries /v1/registry exposes
+	// and workload-backed jobs draw from.
+	_ "dmmkit/internal/alloc/kingsley"
+	_ "dmmkit/internal/alloc/lea"
+	_ "dmmkit/internal/alloc/obstack"
+	_ "dmmkit/internal/alloc/region"
+	_ "dmmkit/internal/workloads/drr"
+	_ "dmmkit/internal/workloads/recon3d"
+	_ "dmmkit/internal/workloads/render3d"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8377", "listen address (host:port; port 0 picks a free port)")
+		spool      = flag.String("spool", "", "directory for uploaded traces and drain checkpoints (default: a fresh temp dir)")
+		workers    = flag.Int("workers", 2, "jobs running concurrently (each job parallelizes further per its request)")
+		queueDepth = flag.Int("queue-depth", 64, "queued-jobs cap; beyond it POST /v1/jobs answers 429")
+		ttl        = flag.Duration("ttl", 15*time.Minute, "retention of finished jobs and their results (negative: forever)")
+		maxUpload  = flag.Int64("max-upload", 1<<30, "largest accepted trace upload in bytes")
+		grace      = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget before running jobs are hard-cancelled")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: dmmserve [flags] (no positional arguments)")
+		os.Exit(2)
+	}
+	if err := run(*addr, *spool, *workers, *queueDepth, *ttl, *maxUpload, *grace); err != nil {
+		fmt.Fprintf(os.Stderr, "dmmserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, spool string, workers, queueDepth int, ttl time.Duration, maxUpload int64, grace time.Duration) error {
+	if spool == "" {
+		dir, err := os.MkdirTemp("", "dmmserve-spool-*")
+		if err != nil {
+			return fmt.Errorf("creating spool dir: %w", err)
+		}
+		spool = dir
+		fmt.Fprintf(os.Stderr, "dmmserve: spooling to %s\n", spool)
+	}
+
+	mgr := jobs.New(jobs.Config{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		TTL:        ttl,
+		SpoolDir:   spool,
+	})
+	srv, err := api.New(api.Config{
+		Manager:        mgr,
+		SpoolDir:       spool,
+		MaxUploadBytes: maxUpload,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Janitor: evict expired jobs even when nobody polls them.
+	go func() {
+		tick := time.NewTicker(time.Minute)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				mgr.Sweep()
+			}
+		}
+	}()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "dmmserve: listening on http://%s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: first the job manager (running explorations
+	// checkpoint and stop, which also terminates their event streams),
+	// then the HTTP server (flushes those streams and closes). The
+	// grace budget covers both phases.
+	fmt.Fprintln(os.Stderr, "dmmserve: shutting down, draining jobs...")
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := mgr.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dmmserve: drain incomplete, running jobs hard-cancelled: %v\n", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		// Lingering connections past the budget: close them.
+		_ = hs.Close() // final hard stop; nothing left to preserve
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "dmmserve: bye")
+	return nil
+}

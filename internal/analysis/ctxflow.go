@@ -11,8 +11,10 @@ import (
 )
 
 // EnginePkgs is the default scope of ctxflow: the packages whose
-// exported stream-consuming entry points must be cancellable.
-const EnginePkgs = "dmmkit/internal/core,dmmkit/internal/trace"
+// exported stream-consuming entry points must be cancellable. The
+// server tree is included because its job streams outlive any single
+// request only as long as a client context keeps them cancellable.
+const EnginePkgs = "dmmkit/internal/core,dmmkit/internal/trace,dmmkit/internal/server/..."
 
 // CtxFlow enforces the cancellation contract on engine entry points: in
 // the engine packages, an exported function or method that consumes a

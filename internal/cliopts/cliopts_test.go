@@ -1,0 +1,111 @@
+package cliopts
+
+import (
+	"strings"
+	"testing"
+
+	"dmmkit/internal/core"
+	"dmmkit/internal/search"
+)
+
+// TestResolveModeRejectsUnknownStrategy pins the fast-fail contract
+// shared by dmmexplore and dmmserve: an unknown strategy is a usage
+// error naming the valid options, detected before any workload is built.
+func TestResolveModeRejectsUnknownStrategy(t *testing.T) {
+	for _, bad := range []string{"", "GA", "genetic", "exhaustive ", "nsga2"} {
+		_, _, err := ResolveMode(bad, "")
+		if err == nil {
+			t.Errorf("strategy %q accepted", bad)
+			continue
+		}
+		for _, want := range ValidStrategies {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("strategy %q: error %q does not list valid option %q", bad, err, want)
+			}
+		}
+	}
+}
+
+// TestResolveModeRejectsMalformedObjectives pins the same contract for
+// objectives: unknown names, duplicates and trailing commas are usage
+// errors, and work-only runs are refused.
+func TestResolveModeRejectsMalformedObjectives(t *testing.T) {
+	for _, bad := range []string{"latency", "footprint,footprint", "footprint,", "work", ",work"} {
+		if _, _, err := ResolveMode("exhaustive", bad); err == nil {
+			t.Errorf("objectives %q accepted", bad)
+		}
+	}
+	// nsga has no scalar mode.
+	if _, _, err := ResolveMode("nsga", "footprint"); err == nil {
+		t.Error("nsga with footprint-only objectives accepted")
+	}
+}
+
+// TestResolveModeDefaults pins the per-strategy objective defaults: the
+// scalar strategies default to footprint only, nsga to footprint,work.
+func TestResolveModeDefaults(t *testing.T) {
+	cases := []struct {
+		strategy, objectives string
+		wantMulti            bool
+	}{
+		{"exhaustive", "", false},
+		{"ga", "", false},
+		{"nsga", "", true},
+		{"exhaustive", "footprint,work", true},
+		{"ga", "work,footprint", true},
+		{"nsga", "footprint,work", true},
+		{"exhaustive", "footprint", false},
+	}
+	for _, c := range cases {
+		objs, multi, err := ResolveMode(c.strategy, c.objectives)
+		if err != nil {
+			t.Errorf("ResolveMode(%q, %q): %v", c.strategy, c.objectives, err)
+			continue
+		}
+		if multi != c.wantMulti {
+			t.Errorf("ResolveMode(%q, %q): multi = %v, want %v", c.strategy, c.objectives, multi, c.wantMulti)
+		}
+		if multi && len(objs) != 2 {
+			t.Errorf("ResolveMode(%q, %q): %d objectives in Pareto mode", c.strategy, c.objectives, len(objs))
+		}
+	}
+}
+
+// TestNewStrategyBuildsEveryValidName holds NewStrategy to its contract
+// with ResolveMode: every name ResolveMode accepts builds, everything
+// else fails with the identical message.
+func TestNewStrategyBuildsEveryValidName(t *testing.T) {
+	cfg := SearchConfig{Seed: 1, Population: 8, Generations: 4, Budget: 16}
+	for _, name := range ValidStrategies {
+		s, err := NewStrategy(name, cfg)
+		if err != nil || s == nil {
+			t.Errorf("NewStrategy(%q): %v", name, err)
+		}
+		// Every built-in strategy must be checkpointable, or the server's
+		// drain-through-checkpoint shutdown silently degrades to a cancel.
+		if _, ok := s.(search.Snapshotter); !ok {
+			t.Errorf("NewStrategy(%q): not a search.Snapshotter", name)
+		}
+	}
+	_, errNew := NewStrategy("simulated-annealing", cfg)
+	_, _, errResolve := ResolveMode("simulated-annealing", "")
+	if errNew == nil || errResolve == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if errNew.Error() != errResolve.Error() {
+		t.Errorf("NewStrategy and ResolveMode disagree on the unknown-strategy message:\n  %q\n  %q", errNew, errResolve)
+	}
+}
+
+// TestObjectivesKeyCanonical pins the checkpoint-meta canonicalization:
+// order-insensitive, defaulting to footprint.
+func TestObjectivesKeyCanonical(t *testing.T) {
+	if got := ObjectivesKey(nil); got != "footprint" {
+		t.Errorf("ObjectivesKey(nil) = %q", got)
+	}
+	a := ObjectivesKey([]core.Objective{core.ObjectiveFootprint, core.ObjectiveWork})
+	b := ObjectivesKey([]core.Objective{core.ObjectiveWork, core.ObjectiveFootprint})
+	if a != b || a != "footprint,work" {
+		t.Errorf("ObjectivesKey not canonical: %q vs %q", a, b)
+	}
+}

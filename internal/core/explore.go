@@ -228,6 +228,17 @@ func Explore(tr *trace.Trace, opts ExploreOpts) ([]Candidate, error) {
 // make a chosen vector pathological; production code never sets it.
 var evalHook func(v dspace.Vector, designed bool)
 
+// SetEvalHook installs evalHook and returns a function restoring the
+// previous one. It exists so fault-injection tests outside this package
+// (the server's panic-isolation suite) can reuse the same seam; like
+// the variable itself, it must only be toggled while no exploration is
+// in flight. Production code never calls it.
+func SetEvalHook(hook func(v dspace.Vector, designed bool)) (restore func()) {
+	prev := evalHook
+	evalHook = hook
+	return func() { evalHook = prev }
+}
+
 // evaluate builds the candidate manager and replays one streaming pass
 // over the trace against it. Openers hand out independent sources, so
 // evaluations run concurrently without sharing replay state.

@@ -1,0 +1,141 @@
+package api_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"dmmkit/internal/server/api"
+	"dmmkit/internal/server/jobs"
+)
+
+// newFuzzEnv builds an in-process API handler for fuzzing. No workloads
+// are registered in this binary, so any accepted workload-backed job
+// fails fast at build time instead of running a real exploration.
+func newFuzzEnv(f *testing.F) (http.Handler, string) {
+	f.Helper()
+	spool := f.TempDir()
+	mgr := jobs.New(jobs.Config{Workers: 1, SpoolDir: spool})
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx) // fuzz teardown; accepted jobs fail fast anyway
+	})
+	srv, err := api.New(api.Config{Manager: mgr, SpoolDir: spool})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return srv.Handler(), spool
+}
+
+// FuzzCreateJob feeds arbitrary bodies to POST /v1/jobs: the decoder
+// must answer a clean 4xx (or accept) — never panic, never 5xx.
+func FuzzCreateJob(f *testing.F) {
+	f.Add([]byte(`{"kind":"explore","trace":{"workload":"drr","seed":1,"quick":true},"strategy":"ga","objectives":"footprint,work","population":4,"generations":2,"budget":8}`))
+	f.Add([]byte(`{"kind":"profile","trace":{"id":"deadbeef-0000-4000-8000-feedfacecafe"}}`))
+	f.Add([]byte(`{"kind":"explore","trace":{"id":"../../../etc/passwd"},"strategy":"ga"}`))
+	f.Add([]byte(`{"kind":"explore","trace":{"workload":"drr"},"strategy":"genetic"}`))
+	f.Add([]byte(`{"kind":"explore","trace":{"id":"a","workload":"b"},"strategy":"ga"}`))
+	f.Add([]byte(`{"kind":"explore","trace":{"workload":"drr"},"strategy":"ga","budget":-1}`))
+	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`{"kind":"explore","trace":{"seed":9223372036854775807}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte("\xff\xfe{}"))
+	f.Add(bytes.Repeat([]byte(`{"kind":`), 1000))
+
+	h, _ := newFuzzEnv(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req) // a handler panic fails the fuzzer here
+
+		switch rr.Code {
+		case http.StatusAccepted, http.StatusBadRequest, http.StatusNotFound,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("POST /v1/jobs answered %d for %q", rr.Code, body)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("non-JSON response %q for %q", rr.Body.Bytes(), body)
+		}
+		if rr.Code == http.StatusAccepted {
+			if id, _ := decoded["id"].(string); id == "" {
+				t.Fatalf("accepted job without id: %q", rr.Body.Bytes())
+			}
+		} else if msg, _ := decoded["error"].(string); msg == "" {
+			t.Fatalf("error response without message: %q", rr.Body.Bytes())
+		}
+	})
+}
+
+// FuzzUploadTrace feeds arbitrary bytes to POST /v1/traces: corrupt
+// uploads must answer 400 without panicking, and the spool must never
+// retain a partial or temp file for a rejected body.
+func FuzzUploadTrace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DMMT2\n"))
+	f.Add([]byte("DMMT1\n"))
+	f.Add([]byte("not a trace at all"))
+	valid := traceBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4])
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	f.Add(bytes.Repeat([]byte{0x00}, 512))
+	f.Add(bytes.Repeat([]byte{0xff}, 512))
+
+	h, spool := newFuzzEnv(f)
+	countTraces := func(t *testing.T) int {
+		t.Helper()
+		ents, err := os.ReadDir(spool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range ents {
+			switch {
+			case strings.HasSuffix(e.Name(), ".trace"):
+				n++
+			case strings.HasPrefix(e.Name(), ".upload-"):
+				t.Fatalf("partial upload left in spool: %s", e.Name())
+			}
+		}
+		return n
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := countTraces(t)
+		req := httptest.NewRequest(http.MethodPost, "/v1/traces", bytes.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req) // a handler panic fails the fuzzer here
+
+		after := countTraces(t)
+		switch rr.Code {
+		case http.StatusCreated:
+			if after != before+1 {
+				t.Fatalf("201 but spool went %d -> %d traces", before, after)
+			}
+		case http.StatusBadRequest:
+			if after != before {
+				t.Fatalf("400 but spool went %d -> %d traces", before, after)
+			}
+		default:
+			t.Fatalf("POST /v1/traces answered %d for %d-byte body", rr.Code, len(body))
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("non-JSON response %q", rr.Body.Bytes())
+		}
+	})
+}

@@ -1,0 +1,662 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmmkit/internal/checkpoint"
+	"dmmkit/internal/cliopts"
+	"dmmkit/internal/core"
+	"dmmkit/internal/dspace"
+	"dmmkit/internal/search"
+	"dmmkit/internal/trace"
+
+	_ "dmmkit/internal/workloads/drr" // register the test workload
+)
+
+// drrRef is the registry-workload trace arm: what the CLI gets from
+// -workload drr -quick -seed 1. Used by the single-pass (profile)
+// tests; exploration tests use the tiny synthetic file from
+// testTraceRef so dozens of replays stay fast under -race.
+var drrRef = TraceRef{Workload: "drr", Seed: 1, Quick: true}
+
+// testTraceRef writes a small deterministic DMMT2 trace file — mixed
+// sizes, phases, interleaved frees — and returns a file-backed ref, the
+// shape a trace uploaded to the server spool has.
+func testTraceRef(t *testing.T) TraceRef {
+	t.Helper()
+	b := trace.NewBuilder("unit")
+	var live []int64
+	for i := 0; i < 300; i++ {
+		if i%3 == 2 && len(live) > 0 {
+			b.Free(live[0])
+			live = live[1:]
+		} else {
+			live = append(live, b.Alloc(int64(16+(i%7)*24), i%3))
+		}
+		if i%50 == 49 {
+			b.SetPhase(i / 50)
+		}
+		b.Tick()
+	}
+	for _, id := range live {
+		b.Free(id)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("building test trace: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "unit.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Build().EncodeBinary2(f); err != nil {
+		t.Fatalf("encoding test trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return TraceRef{Path: path}
+}
+
+// fakeClock drives TTL expiry deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// await drains the job's event stream until the job is terminal and
+// returns its final snapshot plus the replayed events. It is safe from
+// any goroutine (it reports failures as errors, not t.Fatal).
+func await(m *Manager, id string) (Snapshot, []Event, error) {
+	st, ok := m.Events(id)
+	if !ok {
+		return Snapshot{}, nil, fmt.Errorf("job %s not found", id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var events []Event
+	for {
+		e, ok, err := st.Next(ctx)
+		if err != nil {
+			return Snapshot{}, nil, fmt.Errorf("streaming job %s: %w", id, err)
+		}
+		if !ok {
+			break
+		}
+		events = append(events, e)
+	}
+	snap, ok := m.Get(id)
+	if !ok {
+		return Snapshot{}, nil, fmt.Errorf("job %s evicted before inspection", id)
+	}
+	return snap, events, nil
+}
+
+func mustAwait(t *testing.T, m *Manager, id string) (Snapshot, []Event) {
+	t.Helper()
+	snap, events, err := await(m, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, events
+}
+
+func shutdown(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestExploreJobMatchesDirectEngine pins the server's determinism
+// contract: a job run through the manager (parallel workers, event
+// streaming, wire projection) produces the byte-identical candidate
+// stream, best point and Pareto front as a direct sequential
+// Engine.ExploreSource call with the same parameters.
+func TestExploreJobMatchesDirectEngine(t *testing.T) {
+	m := New(Config{Workers: 2, SpoolDir: t.TempDir()})
+	defer shutdown(t, m)
+
+	ref := testTraceRef(t)
+	req := Request{
+		Kind:            KindExplore,
+		Trace:           ref,
+		Strategy:        "ga",
+		Objectives:      "footprint,work",
+		Seed:            7,
+		Population:      6,
+		Generations:     4,
+		Budget:          18,
+		Parallelism:     4,
+		IncludeDesigned: true,
+	}
+	id, err := m.Submit(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	snap, events := mustAwait(t, m, id)
+	if snap.State != StateDone {
+		t.Fatalf("job state = %s (error %q), want done", snap.State, snap.Error)
+	}
+
+	// The reference run: same strategy configuration, direct engine,
+	// parallelism 1 — the server must match a sequential CLI run.
+	tr, err := trace.OpenFile(ref.Path)
+	if err != nil {
+		t.Fatalf("opening trace: %v", err)
+	}
+	objs, _, err := cliopts.ResolveMode(req.Strategy, req.Objectives)
+	if err != nil {
+		t.Fatalf("resolving mode: %v", err)
+	}
+	strat, err := cliopts.NewStrategy(req.Strategy, cliopts.SearchConfig{
+		Seed: req.Seed, Population: req.Population, Generations: req.Generations, Budget: req.Budget,
+	})
+	if err != nil {
+		t.Fatalf("building strategy: %v", err)
+	}
+	cands, err := core.NewEngine(1).ExploreSource(context.Background(), tr, core.ExploreOpts{
+		Strategy:        strat,
+		MaxCandidates:   req.Budget,
+		IncludeDesigned: true,
+		Objectives:      objs,
+	})
+	if err != nil {
+		t.Fatalf("direct explore: %v", err)
+	}
+
+	want, err := json.Marshal(resultOf(cands))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(snap.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("server result differs from direct engine run:\nserver: %s\ndirect: %s", got, want)
+	}
+
+	// The streamed candidate events must be the same stream, in order.
+	var streamed []Candidate
+	for _, e := range events {
+		if e.Type == "candidate" {
+			streamed = append(streamed, *e.Candidate)
+		}
+	}
+	gotStream, _ := json.Marshal(streamed)
+	wantStream, _ := json.Marshal(wireCandidates(cands))
+	if !bytes.Equal(gotStream, wantStream) {
+		t.Errorf("streamed candidates differ from direct engine stream:\nserver: %s\ndirect: %s", gotStream, wantStream)
+	}
+
+	// Event log invariants: contiguous Seq from 0, queued first,
+	// terminal state last.
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if events[0].Type != "state" || events[0].State != StateQueued {
+		t.Errorf("first event = %+v, want queued state", events[0])
+	}
+	if last := events[len(events)-1]; last.Type != "state" || last.State != StateDone {
+		t.Errorf("last event = %+v, want done state", last)
+	}
+}
+
+// TestProfileJob runs the second job kind end to end.
+func TestProfileJob(t *testing.T) {
+	m := New(Config{Workers: 1, SpoolDir: t.TempDir()})
+	defer shutdown(t, m)
+
+	id, err := m.Submit(Request{Kind: KindProfile, Trace: drrRef})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	snap, _ := mustAwait(t, m, id)
+	if snap.State != StateDone {
+		t.Fatalf("job state = %s (error %q)", snap.State, snap.Error)
+	}
+	p := snap.Result.Profile
+	if p == nil || p.Events == 0 || p.Allocs == 0 || p.MaxLiveBytes == 0 {
+		t.Errorf("profile summary = %+v, want populated", p)
+	}
+}
+
+// TestSubmitRejectsWithCLIMessages pins the shared-vocabulary satellite
+// for the server call site: Submit refuses exactly what the dmmexplore
+// flag validation refuses, with the identical message.
+func TestSubmitRejectsWithCLIMessages(t *testing.T) {
+	m := New(Config{Workers: 1, SpoolDir: t.TempDir()})
+	defer shutdown(t, m)
+
+	for _, c := range []struct {
+		strategy, objectives string
+	}{
+		{"genetic", ""},
+		{"", ""},
+		{"nsga2", ""},
+		{"ga", "latency"},
+		{"nsga", "footprint"},
+		{"exhaustive", "work"},
+	} {
+		_, gotErr := m.Submit(Request{Kind: KindExplore, Trace: drrRef, Strategy: c.strategy, Objectives: c.objectives})
+		_, _, wantErr := cliopts.ResolveMode(c.strategy, c.objectives)
+		if gotErr == nil || wantErr == nil {
+			t.Fatalf("strategy %q objectives %q: submit err %v, cli err %v", c.strategy, c.objectives, gotErr, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Errorf("strategy %q objectives %q: server and CLI messages differ:\n  server: %q\n  cli:    %q",
+				c.strategy, c.objectives, gotErr, wantErr)
+		}
+	}
+
+	if _, err := m.Submit(Request{Kind: "compile", Trace: drrRef}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := m.Submit(Request{Kind: KindProfile}); err == nil {
+		t.Error("request without a trace accepted")
+	}
+	if _, err := m.Submit(Request{Kind: KindProfile, Trace: TraceRef{Path: "x", Workload: "drr"}}); err == nil {
+		t.Error("request with two trace inputs accepted")
+	}
+	if _, err := m.Submit(Request{Kind: KindExplore, Trace: drrRef, Strategy: "ga", Budget: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+// TestBadTraceFailsJob pins that an unreadable input fails the job, not
+// the server.
+func TestBadTraceFailsJob(t *testing.T) {
+	m := New(Config{Workers: 1, SpoolDir: t.TempDir()})
+	defer shutdown(t, m)
+
+	id, err := m.Submit(Request{Kind: KindProfile, Trace: TraceRef{Path: t.TempDir() + "/nope.trace"}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	snap, _ := mustAwait(t, m, id)
+	if snap.State != StateFailed || snap.Error == "" {
+		t.Errorf("job = %s (error %q), want failed with message", snap.State, snap.Error)
+	}
+}
+
+// TestTTLEviction pins the retention contract with an injected clock:
+// terminal jobs survive until the TTL lapses, then disappear from Get
+// (lazy) and Sweep (eager); a negative TTL retains forever.
+func TestTTLEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	ref := testTraceRef(t)
+	m := New(Config{Workers: 1, TTL: time.Minute, SpoolDir: t.TempDir(), Now: clk.now})
+	defer shutdown(t, m)
+
+	a, err := m.Submit(Request{Kind: KindProfile, Trace: ref})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	b, err := m.Submit(Request{Kind: KindProfile, Trace: ref})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	mustAwait(t, m, a)
+	mustAwait(t, m, b)
+
+	if _, ok := m.Get(a); !ok {
+		t.Fatal("fresh terminal job already evicted")
+	}
+	clk.advance(61 * time.Second)
+	if _, ok := m.Get(a); ok {
+		t.Error("Get returned a job past its TTL")
+	}
+	if n := m.Sweep(); n != 1 { // a went via lazy Get, b goes here
+		t.Errorf("Sweep evicted %d jobs, want 1", n)
+	}
+	if len(m.List()) != 0 {
+		t.Errorf("List still shows %d jobs", len(m.List()))
+	}
+
+	forever := New(Config{Workers: 1, TTL: -1, SpoolDir: t.TempDir(), Now: clk.now})
+	defer shutdown(t, forever)
+	c, err := forever.Submit(Request{Kind: KindProfile, Trace: ref})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	mustAwait(t, forever, c)
+	clk.advance(1000 * time.Hour)
+	if _, ok := forever.Get(c); !ok {
+		t.Error("negative TTL evicted a job")
+	}
+}
+
+// TestQueueLimitsAndQueuedCancel drives the admission paths: a full
+// queue refuses with ErrQueueFull, a queued job cancels instantly, and
+// a draining manager refuses with ErrDraining.
+func TestQueueLimitsAndQueuedCancel(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	restore := core.SetEvalHook(func(v dspace.Vector, designed bool) {
+		once.Do(func() { close(started) })
+		<-gate
+	})
+	defer restore()
+
+	ref := testTraceRef(t)
+	m := New(Config{Workers: 1, QueueDepth: 1, SpoolDir: t.TempDir()})
+	running, err := m.Submit(Request{Kind: KindExplore, Trace: ref, Strategy: "exhaustive", Budget: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("submit running: %v", err)
+	}
+	<-started // the worker holds the only slot now
+
+	queued, err := m.Submit(Request{Kind: KindProfile, Trace: ref})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	if _, err := m.Submit(Request{Kind: KindProfile, Trace: ref}); err != ErrQueueFull {
+		t.Errorf("over-capacity submit: %v, want ErrQueueFull", err)
+	}
+
+	snap, ok := m.Cancel(queued)
+	if !ok || snap.State != StateCancelled {
+		t.Errorf("cancelling queued job: ok=%v state=%s", ok, snap.State)
+	}
+	if snap, _ := m.Get(queued); snap.State != StateCancelled {
+		t.Errorf("queued job state after cancel = %s", snap.State)
+	}
+
+	close(gate)
+	mustAwait(t, m, running)
+	shutdown(t, m)
+	if _, err := m.Submit(Request{Kind: KindProfile, Trace: ref}); err != ErrDraining {
+		t.Errorf("post-shutdown submit: %v, want ErrDraining", err)
+	}
+}
+
+// TestCancelMidRun cancels a running exploration and expects a
+// cancelled job whose result is the contiguous streamed prefix.
+func TestCancelMidRun(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	restore := core.SetEvalHook(func(v dspace.Vector, designed bool) {
+		once.Do(func() { close(started) })
+		<-gate
+	})
+	defer restore()
+
+	m := New(Config{Workers: 1, SpoolDir: t.TempDir()})
+	defer shutdown(t, m)
+
+	id, err := m.Submit(Request{Kind: KindExplore, Trace: testTraceRef(t), Strategy: "exhaustive", Budget: 6, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	if _, ok := m.Cancel(id); !ok {
+		t.Fatal("cancel: job not found")
+	}
+	close(gate)
+	snap, events := mustAwait(t, m, id)
+	if snap.State != StateCancelled {
+		t.Fatalf("job state = %s, want cancelled", snap.State)
+	}
+	if snap.Result != nil && len(snap.Result.Candidates) >= 6 {
+		t.Errorf("cancelled job evaluated all %d candidates", len(snap.Result.Candidates))
+	}
+	if last := events[len(events)-1]; last.State != StateCancelled {
+		t.Errorf("last event = %+v, want cancelled state", last)
+	}
+}
+
+// TestShutdownDrainsToResumableCheckpoint is the graceful-shutdown
+// tentpole test: a SIGTERM-style Shutdown checkpoints the running
+// search at the next generation boundary, and resuming that checkpoint
+// replays into the byte-identical stream of an uninterrupted run.
+func TestShutdownDrainsToResumableCheckpoint(t *testing.T) {
+	spool := t.TempDir()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	restore := core.SetEvalHook(func(v dspace.Vector, designed bool) {
+		once.Do(func() { close(started) })
+		<-gate
+	})
+
+	ref := testTraceRef(t)
+	m := New(Config{Workers: 1, SpoolDir: spool})
+	cfg := cliopts.SearchConfig{Seed: 3, Population: 5, Generations: 6, Budget: 30}
+	id, err := m.Submit(Request{
+		Kind: KindExplore, Trace: ref,
+		Strategy: "ga", Seed: cfg.Seed, Population: cfg.Population,
+		Generations: cfg.Generations, Budget: cfg.Budget, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+
+	errc := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		errc <- m.Shutdown(ctx)
+	}()
+	for !m.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate) // let the in-flight generation finish; the drain hook fires next
+	if err := <-errc; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	restore()
+
+	snap, ok := m.Get(id)
+	if !ok {
+		t.Fatal("drained job evicted")
+	}
+	if snap.State != StateCancelled || snap.Checkpoint == "" {
+		t.Fatalf("drained job: state=%s checkpoint=%q error=%q", snap.State, snap.Checkpoint, snap.Error)
+	}
+	if !strings.HasPrefix(snap.Checkpoint, spool) {
+		t.Errorf("checkpoint %q outside spool %q", snap.Checkpoint, spool)
+	}
+
+	st, err := checkpoint.Load(snap.Checkpoint)
+	if err != nil {
+		t.Fatalf("loading drain checkpoint: %v", err)
+	}
+	wantID, err := checkpoint.FileIdentity(ref.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Meta.Trace.Equal(wantID) {
+		t.Errorf("checkpoint trace identity = %+v, want %+v", st.Meta.Trace, wantID)
+	}
+
+	// Resume the checkpoint exactly as dmmexplore -resume would.
+	tr, err := trace.OpenFile(ref.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedStrat, err := cliopts.NewStrategy("ga", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumedStrat.(search.Snapshotter).Restore(st.Strategy); err != nil {
+		t.Fatalf("restoring strategy: %v", err)
+	}
+	prior, err := st.Prior()
+	if err != nil {
+		t.Fatalf("decoding prior candidates: %v", err)
+	}
+	if len(prior) == 0 {
+		t.Fatal("drain checkpoint holds no candidates")
+	}
+	resumed, err := core.NewEngine(1).ExploreSource(context.Background(), tr, core.ExploreOpts{
+		Strategy: resumedStrat, MaxCandidates: cfg.Budget, Prior: prior,
+	})
+	if err != nil {
+		t.Fatalf("resumed explore: %v", err)
+	}
+
+	// The uninterrupted reference run.
+	refStrat, err := cliopts.NewStrategy("ga", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCands, err := core.NewEngine(1).ExploreSource(context.Background(), tr, core.ExploreOpts{
+		Strategy: refStrat, MaxCandidates: cfg.Budget,
+	})
+	if err != nil {
+		t.Fatalf("reference explore: %v", err)
+	}
+
+	got, _ := json.Marshal(wireCandidates(resumed))
+	want, _ := json.Marshal(wireCandidates(refCands))
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed run differs from uninterrupted run:\nresumed: %s\nref:     %s", got, want)
+	}
+
+	// The drained job's partial result is the exact prefix of the
+	// reference stream (PR 5's resume contract, now over the server).
+	prefix, _ := json.Marshal(snap.Result.Candidates)
+	refPrefix, _ := json.Marshal(wireCandidates(refCands[:len(prior)]))
+	if !bytes.Equal(prefix, refPrefix) {
+		t.Errorf("drained prefix differs from reference prefix:\ndrained: %s\nref:     %s", prefix, refPrefix)
+	}
+}
+
+// TestPanickingCandidateSkipAndRecord reuses PR 6's fault seam through
+// the server: with skip_failures a panicking candidate surfaces as that
+// candidate's error in the job result while the job completes; without
+// it the job fails.
+func TestPanickingCandidateSkipAndRecord(t *testing.T) {
+	var evals atomic.Int64
+	restore := core.SetEvalHook(func(v dspace.Vector, designed bool) {
+		if evals.Add(1) == 3 {
+			panic("injected fault")
+		}
+	})
+	defer restore()
+
+	m := New(Config{Workers: 1, SpoolDir: t.TempDir()})
+	defer shutdown(t, m)
+
+	ref := testTraceRef(t)
+	id, err := m.Submit(Request{
+		Kind: KindExplore, Trace: ref,
+		Strategy: "exhaustive", Budget: 6, Parallelism: 1, SkipFailures: true,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	snap, _ := mustAwait(t, m, id)
+	if snap.State != StateDone {
+		t.Fatalf("skip job state = %s (error %q), want done", snap.State, snap.Error)
+	}
+	failed := 0
+	for _, c := range snap.Result.Candidates {
+		if c.Err != "" {
+			failed++
+			if !strings.Contains(c.Err, "panic") {
+				t.Errorf("candidate error %q does not mention the panic", c.Err)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d failed candidates in result, want 1", failed)
+	}
+
+	// FailFast: the same fault aborts the job.
+	evals.Store(0)
+	id, err = m.Submit(Request{
+		Kind: KindExplore, Trace: ref,
+		Strategy: "exhaustive", Budget: 6, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	snap, _ = mustAwait(t, m, id)
+	if snap.State != StateFailed || snap.Error == "" {
+		t.Errorf("fail-fast job = %s (error %q), want failed with message", snap.State, snap.Error)
+	}
+}
+
+// TestConcurrentClients hammers the manager from parallel goroutines —
+// meaningful under -race — and checks no job ID is lost or duplicated.
+func TestConcurrentClients(t *testing.T) {
+	const clients = 12
+	ref := testTraceRef(t)
+	m := New(Config{Workers: 4, SpoolDir: t.TempDir()})
+	defer shutdown(t, m)
+
+	var mu sync.Mutex
+	ids := make(map[string]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, err := m.Submit(Request{Kind: KindProfile, Trace: ref})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			mu.Lock()
+			if ids[id] {
+				t.Errorf("duplicate job id %s", id)
+			}
+			ids[id] = true
+			mu.Unlock()
+			snap, _, err := await(m, id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if snap.State != StateDone {
+				t.Errorf("job %s: state %s (error %q)", id, snap.State, snap.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(ids) != clients {
+		t.Fatalf("%d distinct job ids, want %d", len(ids), clients)
+	}
+
+	ms := m.Metrics()
+	if ms.Submitted != clients || ms.Done != clients || ms.Retained != clients {
+		t.Errorf("metrics = %+v, want %d submitted/done/retained", ms, clients)
+	}
+	if ms.WindowCount != clients || ms.EventsAppended == 0 {
+		t.Errorf("metrics window = %+v, want %d finished jobs in window", ms, clients)
+	}
+	if len(m.List()) != clients {
+		t.Errorf("List returned %d jobs", len(m.List()))
+	}
+}

@@ -1,0 +1,86 @@
+package jobs
+
+import (
+	"fmt"
+
+	"dmmkit/internal/checkpoint"
+	"dmmkit/internal/registry"
+	"dmmkit/internal/trace"
+)
+
+// Job kinds.
+const (
+	// KindExplore runs a design-space exploration (the server-side
+	// equivalent of dmmexplore).
+	KindExplore = "explore"
+	// KindProfile runs one profiling pass over the trace (dmmprof).
+	KindProfile = "profile"
+)
+
+// TraceRef names a job's input trace: exactly one of Path (a DMMT trace
+// file, typically in the server's upload spool) or Workload (a
+// registered generator, parameterized by Seed and Quick).
+type TraceRef struct {
+	Path     string `json:"path,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Quick    bool   `json:"quick,omitempty"`
+}
+
+// displayName renders the ref for snapshots and logs.
+func (t TraceRef) displayName() string {
+	if t.Workload != "" {
+		return fmt.Sprintf("workload:%s seed=%d quick=%v", t.Workload, t.Seed, t.Quick)
+	}
+	return t.Path
+}
+
+// open resolves the ref to a trace.Opener. A file opens as a streaming
+// *trace.File (out-of-core, one independent pass per candidate); a
+// workload is generated once in memory and shared read-only.
+func (t TraceRef) open() (trace.Opener, error) {
+	if t.Workload != "" {
+		return registry.BuildWorkload(t.Workload, registry.WorkloadOpts{Seed: t.Seed, Quick: t.Quick})
+	}
+	return trace.OpenFile(t.Path)
+}
+
+// identity pins the ref for checkpoint metadata. Hashing the file
+// happens only on the drain path, never per job.
+func (t TraceRef) identity() (checkpoint.TraceIdentity, error) {
+	if t.Workload != "" {
+		return checkpoint.WorkloadIdentity(t.Workload, t.Seed, t.Quick), nil
+	}
+	return checkpoint.FileIdentity(t.Path)
+}
+
+// Request describes one job submission. The option vocabulary mirrors
+// the dmmexplore flags one-to-one (see internal/cliopts): a request and
+// a command line with the same values produce byte-identical results.
+type Request struct {
+	// Kind selects the job type: KindExplore or KindProfile.
+	Kind string `json:"kind"`
+	// Trace names the input.
+	Trace TraceRef `json:"trace"`
+
+	// Strategy and Objectives mirror -strategy and -objectives;
+	// Objectives empty means the strategy's natural default.
+	Strategy   string `json:"strategy,omitempty"`
+	Objectives string `json:"objectives,omitempty"`
+	// Seed seeds the genetic strategies (-seed).
+	Seed int64 `json:"search_seed,omitempty"`
+	// Population and Generations parameterize ga/nsga (-population,
+	// -generations).
+	Population  int `json:"population,omitempty"`
+	Generations int `json:"generations,omitempty"`
+	// Budget is the evaluation cap (-candidates).
+	Budget int `json:"budget,omitempty"`
+	// Parallelism is the per-job evaluation worker count (-parallel;
+	// 0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// IncludeDesigned additionally evaluates the methodology's design.
+	IncludeDesigned bool `json:"include_designed,omitempty"`
+	// SkipFailures selects -on-error skip: a panicking candidate is
+	// recorded as that candidate's error instead of aborting the job.
+	SkipFailures bool `json:"skip_failures,omitempty"`
+}

@@ -1,0 +1,205 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"dmmkit/internal/checkpoint"
+	"dmmkit/internal/cliopts"
+	"dmmkit/internal/core"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/search"
+	"dmmkit/internal/trace"
+)
+
+// run executes one dequeued job start to finish on a worker goroutine.
+func (m *Manager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	if !j.start(m.cfg.Now(), cancel) {
+		// Cancelled while queued; its terminal event is already logged.
+		return
+	}
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+
+	var (
+		state  State
+		res    *Result
+		errMsg string
+		ckpt   string
+	)
+	switch j.req.Kind {
+	case KindExplore:
+		state, res, errMsg, ckpt = m.runExplore(ctx, j)
+	case KindProfile:
+		state, res, errMsg = m.runProfile(ctx, j)
+	default:
+		// validate() refused this at submit; defend anyway.
+		state, errMsg = StateFailed, fmt.Sprintf("unknown job kind %q", j.req.Kind)
+	}
+
+	now := m.cfg.Now()
+	j.mu.Lock()
+	started := j.started
+	j.finishLocked(state, res, errMsg, ckpt, now)
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.running--
+	m.mu.Unlock()
+	m.noteFinished(state, now.Sub(started))
+}
+
+// resultOf assembles a finished (or prefix-cancelled) exploration's
+// wire result: the in-order candidate stream, the best footprint and
+// the Pareto front, all through the same deterministic projections the
+// CLI prints.
+func resultOf(cands []core.Candidate) *Result {
+	res := &Result{Candidates: wireCandidates(cands)}
+	if best, ok := core.BestByFootprint(cands); ok {
+		w := WireCandidate(best)
+		res.Best = &w
+	}
+	if front := core.ParetoFront(cands); len(front) > 0 {
+		res.Front = wireCandidates(front)
+	}
+	return res
+}
+
+// runExplore runs a design-space exploration, streaming candidates,
+// progress and front updates into the job's event log. During a
+// graceful shutdown the run checkpoints its full search state at the
+// next generation boundary (the point where the strategy is clean) and
+// reports cancelled with the checkpoint path — dmmexplore -resume
+// continues it bit-identically.
+func (m *Manager) runExplore(ctx context.Context, j *job) (State, *Result, string, string) {
+	req := j.req
+	op, err := req.Trace.open()
+	if err != nil {
+		return StateFailed, nil, err.Error(), ""
+	}
+	objs, multi, err := cliopts.ResolveMode(req.Strategy, req.Objectives)
+	if err != nil {
+		return StateFailed, nil, err.Error(), ""
+	}
+	strat, err := cliopts.NewStrategy(req.Strategy, cliopts.SearchConfig{
+		Seed:        req.Seed,
+		Population:  req.Population,
+		Generations: req.Generations,
+		Budget:      req.Budget,
+	})
+	if err != nil {
+		return StateFailed, nil, err.Error(), ""
+	}
+
+	policy := core.FailFast
+	if req.SkipFailures {
+		policy = core.SkipAndRecord
+	}
+	opts := core.ExploreOpts{
+		Strategy:         strat,
+		MaxCandidates:    req.Budget,
+		IncludeDesigned:  req.IncludeDesigned,
+		Parallelism:      req.Parallelism,
+		Objectives:       objs,
+		OnCandidateError: policy,
+		OnCandidate: func(c core.Candidate) {
+			w := WireCandidate(c)
+			j.append(Event{Type: "candidate", Candidate: &w})
+		},
+		OnProgress: j.progress,
+	}
+	if multi {
+		opts.OnFront = func(front []core.Candidate) {
+			j.append(Event{Type: "front", Front: wireCandidates(front)})
+		}
+	}
+
+	// Drain hook: when a graceful shutdown starts, persist the search
+	// state through the exact checkpoint path dmmexplore uses and abort
+	// with the errDrained sentinel. Every built-in strategy snapshots
+	// (pinned by the cliopts tests), so the type assertion is belt and
+	// braces for custom strategies only.
+	var drainedTo string
+	gens := 0
+	opts.AfterGeneration = func(cands []core.Candidate) error {
+		gens++
+		if !m.Draining() {
+			return nil
+		}
+		snapper, ok := strat.(search.Snapshotter)
+		if !ok {
+			return nil // not checkpointable: run to completion or hard-cancel
+		}
+		identity, err := req.Trace.identity()
+		if err != nil {
+			return fmt.Errorf("jobs: pinning trace identity for drain: %w", err)
+		}
+		snap, err := snapper.Snapshot()
+		if err != nil {
+			return fmt.Errorf("jobs: snapshotting strategy for drain: %w", err)
+		}
+		path := filepath.Join(m.cfg.SpoolDir, j.id+".ckpt")
+		err = checkpoint.Save(path, &checkpoint.State{
+			Meta: checkpoint.Meta{
+				Strategy:       req.Strategy,
+				Seed:           req.Seed,
+				Population:     req.Population,
+				Generations:    req.Generations,
+				MaxEvaluations: req.Budget,
+				Objectives:     cliopts.ObjectivesKey(objs),
+				Trace:          identity,
+			},
+			GenerationsDone: gens,
+			Strategy:        json.RawMessage(snap),
+			Candidates:      checkpoint.FromCandidates(cands),
+		})
+		if err != nil {
+			return fmt.Errorf("jobs: draining to checkpoint: %w", err)
+		}
+		drainedTo = path
+		return errDrained
+	}
+
+	cands, err := core.NewEngine(req.Parallelism).ExploreSource(ctx, op, opts)
+	res := resultOf(cands)
+	switch {
+	case errors.Is(err, errDrained):
+		return StateCancelled, res, "drained: server shutting down", drainedTo
+	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
+		return StateCancelled, res, "cancelled", ""
+	case err != nil:
+		return StateFailed, res, err.Error(), ""
+	}
+	return StateDone, res, "", ""
+}
+
+// runProfile runs one profiling pass over the trace and returns the
+// summary. The source is wrapped with the job context, so a DELETE or
+// shutdown interrupts even a multi-gigabyte streaming pass.
+func (m *Manager) runProfile(ctx context.Context, j *job) (State, *Result, string) {
+	op, err := j.req.Trace.open()
+	if err != nil {
+		return StateFailed, nil, err.Error()
+	}
+	src, err := op.Open()
+	if err != nil {
+		return StateFailed, nil, err.Error()
+	}
+	prof, err := profile.FromSource(trace.WithContext(ctx, src))
+	if cerr := trace.Close(src); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			return StateCancelled, nil, "cancelled"
+		}
+		return StateFailed, nil, err.Error()
+	}
+	return StateDone, &Result{Profile: summarize(prof)}, ""
+}

@@ -1,0 +1,138 @@
+package jobs
+
+import (
+	"time"
+
+	"dmmkit/internal/core"
+	"dmmkit/internal/profile"
+)
+
+// Candidate is the wire form of one evaluated design-space point, as it
+// travels through job event streams and results. It carries exactly the
+// deterministic measurements — vector, footprint, work — so comparing
+// two runs for byte-identity is comparing their marshaled Candidates.
+type Candidate struct {
+	Vector    string `json:"vector"`
+	Footprint int64  `json:"footprint"`
+	Work      int64  `json:"work"`
+	Designed  bool   `json:"designed,omitempty"`
+	Err       string `json:"error,omitempty"`
+}
+
+// WireCandidate projects an engine candidate onto the wire form. It is
+// exported so the integration tests can compare a server-run stream
+// against a direct Engine.Explore through the identical projection.
+func WireCandidate(c core.Candidate) Candidate {
+	w := Candidate{
+		Vector:    c.Vector.String(),
+		Footprint: c.MaxFootprint,
+		Work:      c.Work,
+		Designed:  c.Designed,
+	}
+	if c.Err != nil {
+		w.Err = c.Err.Error()
+	}
+	return w
+}
+
+// wireCandidates projects a candidate slice.
+func wireCandidates(cands []core.Candidate) []Candidate {
+	out := make([]Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = WireCandidate(c)
+	}
+	return out
+}
+
+// ProfileSummary is the wire form of a profile job's result.
+type ProfileSummary struct {
+	Name          string  `json:"name"`
+	Events        int     `json:"events"`
+	Allocs        int64   `json:"allocs"`
+	Frees         int64   `json:"frees"`
+	DistinctSizes int     `json:"distinct_sizes"`
+	MaxSize       int64   `json:"max_size"`
+	MeanSize      float64 `json:"mean_size"`
+	MaxLiveBytes  int64   `json:"max_live_bytes"`
+	Phases        int     `json:"phases"`
+}
+
+// summarize projects a profile onto the wire form.
+func summarize(p *profile.Profile) *ProfileSummary {
+	return &ProfileSummary{
+		Name:          p.Name,
+		Events:        p.Events,
+		Allocs:        p.Allocs,
+		Frees:         p.Frees,
+		DistinctSizes: p.DistinctSizes,
+		MaxSize:       p.MaxSize,
+		MeanSize:      p.MeanSize,
+		MaxLiveBytes:  p.MaxLiveBytes,
+		Phases:        len(p.Phases),
+	}
+}
+
+// Result is a finished job's payload: exploration output or a profile
+// summary, depending on the job kind. For cancelled or drained jobs,
+// Candidates holds the contiguous streamed prefix.
+type Result struct {
+	Candidates []Candidate     `json:"candidates,omitempty"`
+	Best       *Candidate      `json:"best,omitempty"`
+	Front      []Candidate     `json:"front,omitempty"`
+	Profile    *ProfileSummary `json:"profile,omitempty"`
+}
+
+// Event is one entry of a job's ordered event log, streamed to clients
+// as NDJSON lines or SSE data frames. Seq is the entry's position in
+// the log, so a client can detect gaps (there are none to detect — the
+// log is append-only and replayed from 0 for every subscriber).
+type Event struct {
+	Seq        int         `json:"seq"`
+	Type       string      `json:"type"` // state | progress | candidate | front
+	State      State       `json:"state,omitempty"`
+	Done       int         `json:"done,omitempty"`
+	Total      int         `json:"total,omitempty"`
+	Candidate  *Candidate  `json:"candidate,omitempty"`
+	Front      []Candidate `json:"front,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	Checkpoint string      `json:"checkpoint,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a job's externally visible state.
+type Snapshot struct {
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind"`
+	State      State      `json:"state"`
+	Trace      string     `json:"trace,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+	Done       int        `json:"done"`
+	Total      int        `json:"total"`
+	Error      string     `json:"error,omitempty"`
+	Checkpoint string     `json:"checkpoint,omitempty"`
+	Result     *Result    `json:"result,omitempty"`
+}
+
+// MetricsSnapshot is the job manager's introspection payload, combined
+// by the API layer into GET /v1/metrics.
+type MetricsSnapshot struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Retained  int   `json:"retained"` // jobs currently held in memory
+	// Window summarizes recently finished jobs (latency over the
+	// sliding window; see internal/server/metrics).
+	WindowCount    int64   `json:"window_count"`
+	WindowAvgMS    float64 `json:"window_avg_ms"`
+	WindowMaxMS    float64 `json:"window_max_ms"`
+	WindowSeconds  float64 `json:"window_seconds"`
+	WorkerCount    int     `json:"workers"`
+	QueueDepthMax  int     `json:"queue_depth_max"`
+	Draining       bool    `json:"draining"`
+	RetentionSecs  float64 `json:"retention_seconds"`
+	EventsAppended int64   `json:"events_appended"`
+}

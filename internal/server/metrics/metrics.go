@@ -1,0 +1,124 @@
+// Package metrics provides the windowed latency/throughput counters
+// behind dmmserve's GET /v1/metrics endpoint. A Tracker folds event
+// durations into a ring of fixed-width time buckets covering a sliding
+// window, so a snapshot reports recent load (count, mean, max) rather
+// than lifetime aggregates that stop moving after the first busy hour.
+// The clock is injectable, so tests drive the window deterministically.
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracker accumulates durations over a sliding window. The zero value
+// is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Tracker struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	width     time.Duration // one bucket's time span
+	buckets   []bucket
+	head      int       // ring index of the current bucket
+	headStart time.Time // start of the current bucket's interval
+}
+
+type bucket struct {
+	n   int64
+	sum time.Duration
+	max time.Duration
+}
+
+// Stats is a point-in-time summary of the tracker's window.
+type Stats struct {
+	// Count is the number of events recorded inside the window.
+	Count int64
+	// Avg is the mean duration of those events (0 when Count is 0).
+	Avg time.Duration
+	// Max is the largest duration inside the window.
+	Max time.Duration
+	// Window is the tracker's configured span, for display.
+	Window time.Duration
+}
+
+// New returns a tracker whose window spans the given duration split
+// into nbuckets ring slots (more slots = smoother expiry). A zero or
+// negative window defaults to one minute, nbuckets to 6, and a nil now
+// to time.Now.
+func New(window time.Duration, nbuckets int, now func() time.Time) *Tracker {
+	if window <= 0 {
+		window = time.Minute
+	}
+	if nbuckets <= 0 {
+		nbuckets = 6
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracker{
+		now:     now,
+		width:   window / time.Duration(nbuckets),
+		buckets: make([]bucket, nbuckets),
+	}
+}
+
+// rotate advances the ring to cover t, zeroing buckets whose interval
+// has passed. Called with the lock held.
+func (tr *Tracker) rotate(t time.Time) {
+	if tr.headStart.IsZero() {
+		tr.headStart = t
+		return
+	}
+	elapsed := t.Sub(tr.headStart)
+	if elapsed < tr.width {
+		return
+	}
+	steps := int64(elapsed / tr.width)
+	if steps >= int64(len(tr.buckets)) {
+		// The whole window has passed; everything expires at once.
+		for i := range tr.buckets {
+			tr.buckets[i] = bucket{}
+		}
+		tr.head = 0
+		tr.headStart = t
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		tr.head = (tr.head + 1) % len(tr.buckets)
+		tr.buckets[tr.head] = bucket{}
+	}
+	tr.headStart = tr.headStart.Add(time.Duration(steps) * tr.width)
+}
+
+// Record folds one event duration into the current bucket.
+func (tr *Tracker) Record(d time.Duration) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.rotate(tr.now())
+	b := &tr.buckets[tr.head]
+	b.n++
+	b.sum += d
+	if d > b.max {
+		b.max = d
+	}
+}
+
+// Snapshot summarizes the window as of now.
+func (tr *Tracker) Snapshot() Stats {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.rotate(tr.now())
+	s := Stats{Window: tr.width * time.Duration(len(tr.buckets))}
+	var sum time.Duration
+	for _, b := range tr.buckets {
+		s.Count += b.n
+		sum += b.sum
+		if b.max > s.Max {
+			s.Max = b.max
+		}
+	}
+	if s.Count > 0 {
+		s.Avg = sum / time.Duration(s.Count)
+	}
+	return s
+}

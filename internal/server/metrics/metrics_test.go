@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTrackerAggregatesWithinWindow(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := New(time.Minute, 6, clk.now)
+	tr.Record(10 * time.Millisecond)
+	tr.Record(30 * time.Millisecond)
+	s := tr.Snapshot()
+	if s.Count != 2 || s.Avg != 20*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Window != time.Minute {
+		t.Fatalf("window = %v", s.Window)
+	}
+}
+
+func TestTrackerExpiresOldBuckets(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := New(time.Minute, 6, clk.now)
+	tr.Record(100 * time.Millisecond)
+	// Half the window later the event is still visible...
+	clk.advance(30 * time.Second)
+	tr.Record(50 * time.Millisecond)
+	if s := tr.Snapshot(); s.Count != 2 {
+		t.Fatalf("mid-window count = %d, want 2", s.Count)
+	}
+	// ...but a full window after the second event, both are gone.
+	clk.advance(61 * time.Second)
+	if s := tr.Snapshot(); s.Count != 0 || s.Avg != 0 || s.Max != 0 {
+		t.Fatalf("post-window snapshot = %+v, want zero", s)
+	}
+}
+
+func TestTrackerPartialExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := New(60*time.Second, 6, clk.now) // 10s buckets
+	tr.Record(40 * time.Millisecond)      // bucket 0
+	clk.advance(35 * time.Second)
+	tr.Record(20 * time.Millisecond) // bucket 3
+	clk.advance(30 * time.Second)
+	// 65s after the first event: bucket 0 expired, bucket 3 still in.
+	s := tr.Snapshot()
+	if s.Count != 1 || s.Max != 20*time.Millisecond {
+		t.Fatalf("snapshot = %+v, want the 20ms event only", s)
+	}
+}
+
+func TestTrackerDefaultsAndConcurrency(t *testing.T) {
+	tr := New(0, 0, nil) // defaults: 1m window, 6 buckets, real clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Snapshot(); s.Count != 800 {
+		t.Fatalf("count = %d, want 800", s.Count)
+	}
+}
