@@ -173,4 +173,27 @@ func (m *Manager) FreeBlocks(c int) int {
 	return n
 }
 
-var _ mm.Manager = (*Manager)(nil)
+// Clone returns a deep copy of the manager over a clone of its heap:
+// the copy and the original replay independently. The free-list heads
+// and bin bitmap are plain values; only the heap and the shadow table
+// need deep copies.
+func (m *Manager) Clone() *Manager {
+	n := *m
+	n.h = m.h.Clone()
+	n.v.H = n.h
+	n.live = m.live.Clone()
+	return &n
+}
+
+// CloneManager implements mm.Cloner.
+func (m *Manager) CloneManager() (mm.Manager, error) { return m.Clone(), nil }
+
+// StateChecksum implements mm.Checksummer by digesting the simulated
+// heap, where all in-band allocator state lives.
+func (m *Manager) StateChecksum() uint64 { return m.h.Checksum() }
+
+var (
+	_ mm.Manager     = (*Manager)(nil)
+	_ mm.Cloner      = (*Manager)(nil)
+	_ mm.Checksummer = (*Manager)(nil)
+)

@@ -555,4 +555,33 @@ func (m *Manager) CheckInvariants() error {
 	return nil
 }
 
-var _ mm.Manager = (*Manager)(nil)
+// Clone returns a deep copy of the manager over a clone of its heap:
+// the copy and the original replay independently. The bins, bitmaps and
+// config are plain values; the heap, the mmapped-block table and the
+// shadow table need deep copies.
+func (m *Manager) Clone() *Manager {
+	n := *m
+	n.h = m.h.Clone()
+	n.v.H = n.h
+	if m.mapped != nil {
+		n.mapped = make(map[heap.Addr]int64, len(m.mapped))
+		for k, v := range m.mapped {
+			n.mapped[k] = v
+		}
+	}
+	n.live = m.live.Clone()
+	return &n
+}
+
+// CloneManager implements mm.Cloner.
+func (m *Manager) CloneManager() (mm.Manager, error) { return m.Clone(), nil }
+
+// StateChecksum implements mm.Checksummer by digesting the simulated
+// heap, where all in-band allocator state lives.
+func (m *Manager) StateChecksum() uint64 { return m.h.Checksum() }
+
+var (
+	_ mm.Manager     = (*Manager)(nil)
+	_ mm.Cloner      = (*Manager)(nil)
+	_ mm.Checksummer = (*Manager)(nil)
+)

@@ -173,4 +173,34 @@ func (m *Manager) DeadBytes() int64 {
 // Depth returns the current object-stack depth (live + deferred dead).
 func (m *Manager) Depth() int { return len(m.objs) }
 
-var _ mm.Manager = (*Manager)(nil)
+// Clone returns a deep copy of the manager over a clone of its heap:
+// the copy and the original replay independently. Chunks and objects
+// are value types, so copying the slices suffices; the payload index
+// and shadow table are rebuilt as fresh copies.
+func (m *Manager) Clone() *Manager {
+	n := *m
+	n.h = m.h.Clone()
+	n.chunks = append([]chunk(nil), m.chunks...)
+	n.objs = append([]object(nil), m.objs...)
+	if m.index != nil {
+		n.index = make(map[heap.Addr]int, len(m.index))
+		for k, v := range m.index {
+			n.index[k] = v
+		}
+	}
+	n.live = m.live.Clone()
+	return &n
+}
+
+// CloneManager implements mm.Cloner.
+func (m *Manager) CloneManager() (mm.Manager, error) { return m.Clone(), nil }
+
+// StateChecksum implements mm.Checksummer by digesting the simulated
+// heap, where all in-band allocator state lives.
+func (m *Manager) StateChecksum() uint64 { return m.h.Checksum() }
+
+var (
+	_ mm.Manager     = (*Manager)(nil)
+	_ mm.Cloner      = (*Manager)(nil)
+	_ mm.Checksummer = (*Manager)(nil)
+)

@@ -199,4 +199,35 @@ func (m *Manager) RegionBlockSize(tag int) int64 {
 	return 0
 }
 
-var _ mm.Manager = (*Manager)(nil)
+// Clone returns a deep copy of the manager over a clone of its heap:
+// the copy and the original replay independently. The per-tag region
+// states are copied; the Sizer is shared, which is safe because sizing
+// policies are pure functions of their arguments (ProfileSizer closes
+// over a profile it only reads).
+func (m *Manager) Clone() *Manager {
+	n := *m
+	n.h = m.h.Clone()
+	n.v.H = n.h
+	if m.regions != nil {
+		n.regions = make(map[int]*regionState, len(m.regions))
+		for k, r := range m.regions {
+			cr := *r
+			n.regions[k] = &cr
+		}
+	}
+	n.live = m.live.Clone()
+	return &n
+}
+
+// CloneManager implements mm.Cloner.
+func (m *Manager) CloneManager() (mm.Manager, error) { return m.Clone(), nil }
+
+// StateChecksum implements mm.Checksummer by digesting the simulated
+// heap, where all in-band allocator state lives.
+func (m *Manager) StateChecksum() uint64 { return m.h.Checksum() }
+
+var (
+	_ mm.Manager     = (*Manager)(nil)
+	_ mm.Cloner      = (*Manager)(nil)
+	_ mm.Checksummer = (*Manager)(nil)
+)

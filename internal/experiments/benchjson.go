@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -59,8 +60,65 @@ func RunBenchTable(ctx context.Context) (*BenchReport, error) {
 			}
 			rep.Rows = append(rep.Rows, row)
 		}
+		// The batched DMMT2 streaming path, timed over the same trace so
+		// the gate tracks the decoder's cost alongside the in-memory
+		// replay's. One manager per workload keeps the run short; the
+		// differential tests already pin every combination's identity.
+		var enc bytes.Buffer
+		if err := tr.EncodeBinary2(&enc); err != nil {
+			return nil, err
+		}
+		row, err := benchOneStream(ctx, w, MgrKingsley, enc.Bytes(), prof)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
+}
+
+// benchOneStream times full replays through the batched streaming
+// decoder (DecodeBinarySource + RunSource) over an in-memory DMMT2
+// encoding, labelled "<manager> (dmmt2 stream)" in the report.
+func benchOneStream(ctx context.Context, w Workload, name ManagerName, enc []byte, prof *profile.Profile) (BenchRow, error) {
+	replay := func() (trace.Result, error) {
+		mgr, err := NewManager(name, prof)
+		if err != nil {
+			return trace.Result{}, err
+		}
+		src, err := trace.DecodeBinarySource(bytes.NewReader(enc))
+		if err != nil {
+			return trace.Result{}, err
+		}
+		return trace.RunSource(ctx, mgr, src, trace.RunOpts{})
+	}
+	res, err := replay()
+	if err != nil {
+		return BenchRow{}, fmt.Errorf("bench %s/%s (stream): %w", name, w, err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 200*time.Millisecond && n < 500 {
+		if _, err := replay(); err != nil {
+			return BenchRow{}, err
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return BenchRow{
+		Workload:        string(w),
+		Manager:         string(name) + " (dmmt2 stream)",
+		Events:          res.Events,
+		FootprintBytes:  res.MaxFootprint,
+		LiveBytes:       res.MaxLive,
+		WorkPerOp:       float64(res.Work) / float64(res.Events),
+		NsPerReplay:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerReplay: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		Replays:         n,
+	}, nil
 }
 
 func benchOne(ctx context.Context, w Workload, name ManagerName, tr *trace.Trace, prof *profile.Profile) (BenchRow, error) {

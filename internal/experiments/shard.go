@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/profile"
+	"dmmkit/internal/registry"
+	"dmmkit/internal/replay"
+	"dmmkit/internal/trace"
+	"dmmkit/internal/workloads/drr"
+)
+
+// The shard experiment (dmmbench -exp shard) measures phase-checkpointed
+// parallel replay: it generates the stream experiment's netsim-scale DRR
+// trace, writes it to a DMMT2 file, builds the phase index once
+// (replay.Build — a sequential pass with snapshots), then replays the
+// file as parallel shards (replay.Replay) and compares against the
+// sequential streaming replay. The merged result is asserted identical
+// to the sequential one — replay.Replay already verifies every shard
+// seam internally — so the speedup column can be trusted: it never
+// reports a fast-but-different number.
+
+// shardManagers are the manager families the experiment shards.
+var shardManagers = []ManagerName{MgrKingsley, MgrLea, MgrCustom}
+
+// ShardRow is one manager family's sequential-vs-sharded measurement.
+type ShardRow struct {
+	Manager   ManagerName
+	Footprint int64 // identical across paths (asserted)
+	Work      int64
+	SeqNs     int64 // sequential streaming replay
+	BuildNs   int64 // replay.Build: sequential pass + snapshots
+	ShardNs   int64 // parallel sharded replay of the same index
+	Shards    int   // windows the index split the trace into
+}
+
+// Speedup is the sequential-over-sharded wall-clock ratio.
+func (r ShardRow) Speedup() float64 {
+	if r.ShardNs == 0 {
+		return 0
+	}
+	return float64(r.SeqNs) / float64(r.ShardNs)
+}
+
+// ShardResult is the report of the sharded replay measurement.
+type ShardResult struct {
+	TraceName   string
+	Events      int
+	Parallelism int // workers the sharded replays ran on
+	Rows        []ShardRow
+}
+
+// RunShard generates the trace, indexes it and replays it both ways;
+// any divergence between the sequential and the sharded result is an
+// error, never a printed number.
+func RunShard(ctx context.Context, cfg Config) (*ShardResult, error) {
+	dcfg := streamConfig(cfg.Quick)
+	built, err := drr.BuildTrace(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := built.Trace
+	prof := profile.FromTrace(tr)
+
+	f, err := os.CreateTemp("", "dmmkit-shard-*.trace")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(f.Name())
+	if err := tr.EncodeBinary2(f); err != nil {
+		_ = f.Close() // encode error supersedes any close error
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	file, err := trace.OpenFile(f.Name())
+	if err != nil {
+		return nil, err
+	}
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	res := &ShardResult{TraceName: tr.Name, Events: len(tr.Events), Parallelism: par}
+	// Quick traces are too short for the production snapshot spacing.
+	opts := replay.Options{}
+	if cfg.Quick {
+		opts = replay.Options{Every: 2048, MinWindow: 256}
+	}
+
+	for _, name := range shardManagers {
+		reg := registryName[name]
+
+		h1 := heap.New(heap.Config{})
+		m1, err := registry.NewManager(reg, h1, prof)
+		if err != nil {
+			return nil, err
+		}
+		src, err := file.Open()
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		seq, err := trace.RunSource(ctx, m1, src, trace.RunOpts{})
+		if err != nil {
+			return nil, err
+		}
+		seqNs := time.Since(t0).Nanoseconds()
+
+		h2 := heap.New(heap.Config{})
+		m2, err := registry.NewManager(reg, h2, prof)
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		phases, buildRes, err := replay.Build(ctx, m2, file, opts)
+		if err != nil {
+			return nil, err
+		}
+		buildNs := time.Since(t0).Nanoseconds()
+
+		t0 = time.Now()
+		sharded, err := phases.Replay(ctx, par, trace.RunOpts{})
+		if err != nil {
+			return nil, err
+		}
+		shardNs := time.Since(t0).Nanoseconds()
+
+		for _, check := range []struct {
+			which string
+			got   trace.Result
+		}{{"build", buildRes}, {"sharded", sharded}} {
+			which, got := check.which, check.got
+			if got.MaxFootprint != seq.MaxFootprint || got.Work != seq.Work ||
+				got.Stats != seq.Stats || got.Events != seq.Events {
+				return nil, fmt.Errorf("shard: %s: %s replay diverged from sequential: footprint %d vs %d, work %d vs %d",
+					name, which, got.MaxFootprint, seq.MaxFootprint, got.Work, seq.Work)
+			}
+		}
+		if h1.SysStats() != h2.SysStats() {
+			return nil, fmt.Errorf("shard: %s: heap system stats diverged between the passes", name)
+		}
+		res.Rows = append(res.Rows, ShardRow{
+			Manager:   name,
+			Footprint: seq.MaxFootprint,
+			Work:      int64(seq.Work),
+			SeqNs:     seqNs,
+			BuildNs:   buildNs,
+			ShardNs:   shardNs,
+			Shards:    phases.Shards(),
+		})
+	}
+	return res, nil
+}
+
+// WriteShard renders the measurement.
+func WriteShard(w io.Writer, r *ShardResult) error {
+	fmt.Fprintf(w, "phase-sharded replay of %q: %d events, %d workers\n\n",
+		r.TraceName, r.Events, r.Parallelism)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "manager\tfootprint (B)\twork\tshards\tsequential\tbuild (once)\tsharded\tspeedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%s\t%.2fx\n",
+			row.Manager, row.Footprint, row.Work, row.Shards,
+			time.Duration(row.SeqNs), time.Duration(row.BuildNs),
+			time.Duration(row.ShardNs), row.Speedup())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nsharded results verified bit-identical to the sequential replay at every seam.")
+	return nil
+}

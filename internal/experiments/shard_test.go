@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestRunShardQuick exercises the sharded-replay measurement end to end
+// in quick mode; RunShard itself errors if the sharded result diverges
+// from the sequential replay anywhere.
+func TestRunShardQuick(t *testing.T) {
+	res, err := RunShard(context.Background(), Config{Quick: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 || len(res.Rows) != len(shardManagers) {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	for _, row := range res.Rows {
+		if row.Shards < 2 {
+			t.Errorf("%s: only %d shard(s); quick options should split the trace", row.Manager, row.Shards)
+		}
+	}
+	var out bytes.Buffer
+	if err := WriteShard(&out, res); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("empty report")
+	}
+}

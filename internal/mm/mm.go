@@ -51,6 +51,28 @@ type Manager interface {
 // state without reconstruction.
 type Resetter interface{ Reset() }
 
+// Cloner is implemented by managers that can deep-copy their complete
+// state — simulated heap, in-band block structures, and out-of-band
+// bookkeeping — so replay can snapshot a manager at a trace boundary
+// and later continue from the copy. The clone and the original must
+// evolve independently: replaying the same suffix against either yields
+// bit-identical results, and neither observes the other's mutations.
+// Read-only configuration (a sizing policy, a parameter table) may be
+// shared. CloneManager returns an error when a composite manager holds
+// a child that cannot be cloned.
+type Cloner interface {
+	CloneManager() (Manager, error)
+}
+
+// Checksummer is implemented by managers that can digest their full
+// simulated-heap state into one value. Two managers that evolved
+// through the same event sequence from the same start state must agree;
+// sharded replay uses it to verify that a shard lands exactly on the
+// next shard's snapshot.
+type Checksummer interface {
+	StateChecksum() uint64
+}
+
 // Stats holds cumulative manager counters. LiveBytes/LiveBlocks describe
 // requested payload bytes currently held by the application; gross bytes
 // (including headers and rounding) are visible through Footprint.

@@ -104,6 +104,15 @@ func (s *Shadow) Len() int { return s.n }
 // Reset clears the shadow table.
 func (s *Shadow) Reset() { s.slots, s.n, s.mask = nil, 0, 0 }
 
+// Clone returns an independent copy of the table.
+func (s *Shadow) Clone() Shadow {
+	c := *s
+	if s.slots != nil {
+		c.slots = append([]shadowSlot(nil), s.slots...)
+	}
+	return c
+}
+
 // grow doubles the table (or creates it) and rehashes every live entry.
 func (s *Shadow) grow() {
 	old := s.slots

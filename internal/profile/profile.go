@@ -110,69 +110,78 @@ func FromSource(src trace.Source) (*Profile, error) {
 		return pa
 	}
 
-	for i := 0; ; i++ {
-		e, ok, err := src.Next()
-		if err != nil {
-			return nil, fmt.Errorf("profile: event %d: %w", i, err)
-		}
-		if !ok {
+	// The stream is consumed in batches (trace.ReadBatch adapts sources
+	// without native batching); i stays the global event index the
+	// born/lifetime bookkeeping needs.
+	buf := make([]trace.Event, trace.BatchLen)
+	i := 0
+	for {
+		n, berr := trace.ReadBatch(src, buf)
+		if n == 0 && berr == nil {
 			break
 		}
-		p.Events++
-		pa := phaseOf(e.Phase)
-		pa.events++
-		switch e.Kind {
-		case trace.KindAlloc:
-			p.Allocs++
-			live[e.ID] = liveInfo{size: e.Size, born: i, orderIx: orderCounter, phase: e.Phase}
-			newestStack = append(newestStack, e.ID)
-			orderCounter++
+		for k := 0; k < n; k++ {
+			e := buf[k]
+			p.Events++
+			pa := phaseOf(e.Phase)
+			pa.events++
+			switch e.Kind {
+			case trace.KindAlloc:
+				p.Allocs++
+				live[e.ID] = liveInfo{size: e.Size, born: i, orderIx: orderCounter, phase: e.Phase}
+				newestStack = append(newestStack, e.ID)
+				orderCounter++
 
-			sizeCount[e.Size]++
-			sizeLive[e.Size] += e.Size
-			if sizeLive[e.Size] > sizeLiveMax[e.Size] {
-				sizeLiveMax[e.Size] = sizeLive[e.Size]
-			}
-			liveBytes += e.Size
-			liveBlocks++
-			if liveBytes > p.MaxLiveBytes {
-				p.MaxLiveBytes = liveBytes
-			}
-			if liveBlocks > p.MaxLiveBlocks {
-				p.MaxLiveBlocks = liveBlocks
-			}
-			p.TotalBytes += e.Size
-			sumSize += float64(e.Size)
-			sumSize2 += float64(e.Size) * float64(e.Size)
-			if e.Size > p.TagMax[int(e.Tag)] {
-				p.TagMax[int(e.Tag)] = e.Size
-			}
-			pa.noteAlloc(e.Size, liveBytesOfPhase(pa, e.Size))
-		case trace.KindFree:
-			p.Frees++
-			li := live[e.ID]
-			delete(live, e.ID)
-			if li.phase != e.Phase {
-				p.CrossPhaseFrees++
-			}
-			// LIFO detection: pop dead ids, then check the top.
-			for len(newestStack) > 0 {
-				if _, ok := live[newestStack[len(newestStack)-1]]; !ok && newestStack[len(newestStack)-1] != e.ID {
-					newestStack = newestStack[:len(newestStack)-1]
-					continue
+				sizeCount[e.Size]++
+				sizeLive[e.Size] += e.Size
+				if sizeLive[e.Size] > sizeLiveMax[e.Size] {
+					sizeLiveMax[e.Size] = sizeLive[e.Size]
 				}
-				break
+				liveBytes += e.Size
+				liveBlocks++
+				if liveBytes > p.MaxLiveBytes {
+					p.MaxLiveBytes = liveBytes
+				}
+				if liveBlocks > p.MaxLiveBlocks {
+					p.MaxLiveBlocks = liveBlocks
+				}
+				p.TotalBytes += e.Size
+				sumSize += float64(e.Size)
+				sumSize2 += float64(e.Size) * float64(e.Size)
+				if e.Size > p.TagMax[int(e.Tag)] {
+					p.TagMax[int(e.Tag)] = e.Size
+				}
+				pa.noteAlloc(e.Size, liveBytesOfPhase(pa, e.Size))
+			case trace.KindFree:
+				p.Frees++
+				li := live[e.ID]
+				delete(live, e.ID)
+				if li.phase != e.Phase {
+					p.CrossPhaseFrees++
+				}
+				// LIFO detection: pop dead ids, then check the top.
+				for len(newestStack) > 0 {
+					if _, ok := live[newestStack[len(newestStack)-1]]; !ok && newestStack[len(newestStack)-1] != e.ID {
+						newestStack = newestStack[:len(newestStack)-1]
+						continue
+					}
+					break
+				}
+				lifoTotal++
+				if len(newestStack) > 0 && newestStack[len(newestStack)-1] == e.ID {
+					lifoHits++
+					newestStack = newestStack[:len(newestStack)-1]
+				}
+				sizeLive[li.size] -= li.size
+				liveBytes -= li.size
+				liveBlocks--
+				lifetimes = append(lifetimes, int64(i-li.born))
+				pa.noteFree(li.size)
 			}
-			lifoTotal++
-			if len(newestStack) > 0 && newestStack[len(newestStack)-1] == e.ID {
-				lifoHits++
-				newestStack = newestStack[:len(newestStack)-1]
-			}
-			sizeLive[li.size] -= li.size
-			liveBytes -= li.size
-			liveBlocks--
-			lifetimes = append(lifetimes, int64(i-li.born))
-			pa.noteFree(li.size)
+			i++
+		}
+		if berr != nil {
+			return nil, fmt.Errorf("profile: event %d: %w", i, berr)
 		}
 	}
 	p.NeverFreed = int64(len(live))

@@ -1,0 +1,482 @@
+// Package replay shards one long trace replay across phase
+// checkpoints. A single sequential pass (Build) snapshots the manager —
+// simulated heap, in-band structures, live-pointer table — at phase
+// boundaries into an in-memory Phases index; the trace then replays as
+// K independent windows in parallel (Replay), each continuing from its
+// snapshot's clone, with a deterministic merge that is verified
+// bit-identical to the sequential pass at every shard seam. The same
+// index drives incremental suffix re-runs (ReplayFrom): re-sampling or
+// re-verifying a tail costs only the tail.
+//
+// Sharding never changes results: the snapshot clones carry the full
+// prefix state (footprint high-water marks, cumulative stats, heap
+// bytes), so shard K's end state is byte-for-byte the sequential state
+// at the same event index, and the merged Result equals the sequential
+// trace.RunSource Result. The sharded-vs-sequential differential tests
+// pin this across every registered workload and manager.
+package replay
+
+import (
+	"context"
+	"fmt"
+
+	"dmmkit/internal/heap"
+	"dmmkit/internal/mm"
+	"dmmkit/internal/pool"
+	"dmmkit/internal/trace"
+)
+
+// Options configures Build.
+type Options struct {
+	// MaxShards caps the number of replay windows (snapshots, counting
+	// the initial state). 0 means DefaultMaxShards.
+	MaxShards int
+	// Every forces an extra snapshot candidate after this many events,
+	// for traces whose phases are long or absent. 0 snapshots at phase
+	// boundaries only.
+	Every int
+	// MinWindow suppresses snapshots closer than this many events to
+	// the previous one, bounding index memory on traces that flip
+	// phases every few events. 0 means DefaultMinWindow.
+	MinWindow int
+}
+
+// DefaultMaxShards bounds the index size when Options.MaxShards is 0:
+// more shards than cores stops paying once every core is busy, and each
+// snapshot holds a full manager clone.
+const DefaultMaxShards = 16
+
+// DefaultMinWindow is the minimum events per shard when
+// Options.MinWindow is 0. Windows much smaller than this cost more to
+// open and verify than they save.
+const DefaultMinWindow = 4096
+
+func (o Options) withDefaults() Options {
+	if o.MaxShards <= 0 {
+		o.MaxShards = DefaultMaxShards
+	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = DefaultMinWindow
+	}
+	return o
+}
+
+// snapshot is the replay state at one event boundary: everything needed
+// to continue the replay from index as if the prefix had just run.
+type snapshot struct {
+	index      int        // global index of the first event of the window
+	phase      int32      // phase of that event (diagnostic)
+	mgr        mm.Manager // manager state after events [0, index)
+	live       map[int64]heap.Addr
+	pos        trace.Pos // mid-stream resume point
+	positioned bool      // pos is valid (the build source reported positions)
+	foot       int64     // expected state at the boundary, for seam checks
+	maxFoot    int64
+	stats      mm.Stats
+	sum        uint64
+	hasSum     bool
+}
+
+// shardEnd is the expected state at the end of a window.
+type shardEnd struct {
+	foot    int64
+	maxFoot int64
+	stats   mm.Stats
+	sum     uint64
+	hasSum  bool
+}
+
+// Phases is an immutable index over one (manager, trace) pair: the
+// snapshots Build captured plus the sequential end state. Replay and
+// ReplayFrom clone the snapshots they start from, so a Phases can be
+// replayed any number of times, concurrently.
+type Phases struct {
+	name  string
+	op    trace.Opener
+	mem   *trace.Trace // non-nil when the trace is in memory: shard by slicing
+	snaps []snapshot
+	total int // total events in the trace
+	final shardEnd
+}
+
+// Shards returns the number of parallel windows Replay will run.
+func (p *Phases) Shards() int { return len(p.snaps) }
+
+// Events returns the total event count of the indexed trace.
+func (p *Phases) Events() int { return p.total }
+
+// Boundary returns the global event index at which shard k starts.
+func (p *Phases) Boundary(k int) int { return p.snaps[k].index }
+
+// Build replays the trace once, sequentially, against m — which must
+// implement mm.Cloner — snapshotting the full replay state at phase
+// boundaries (plus every Options.Every events when set). It returns the
+// index and the sequential replay Result, which is identical to
+// trace.RunSource on the same pair. m is consumed: it holds the final
+// replay state afterwards.
+//
+// When the build source reports positions (a DMMT2 file), shards later
+// resume by seeking; otherwise file shards re-decode and skip their
+// prefix, and in-memory traces slice directly.
+func Build(ctx context.Context, m mm.Manager, op trace.Opener, opts Options) (*Phases, trace.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cl, ok := m.(mm.Cloner)
+	if !ok {
+		return nil, trace.Result{}, fmt.Errorf("replay: manager %s does not support cloning", m.Name())
+	}
+	opts = opts.withDefaults()
+	src, err := op.Open()
+	if err != nil {
+		return nil, trace.Result{}, err
+	}
+	defer trace.Close(src)
+
+	p := &Phases{name: src.Name(), op: op}
+	if t, ok := op.(*trace.Trace); ok {
+		p.mem = t
+	}
+	pos, _ := src.(trace.Positioner)
+
+	res := trace.Result{Manager: m.Name(), TraceName: p.name}
+	live := make(map[int64]heap.Addr, 256)
+	snap := func(i int, phase int32, at trace.Pos) error {
+		cm, err := cl.CloneManager()
+		if err != nil {
+			return fmt.Errorf("replay: snapshot at event %d: %w", i, err)
+		}
+		if _, ok := cm.(mm.Cloner); !ok {
+			return fmt.Errorf("replay: clone of %s is not itself cloneable", m.Name())
+		}
+		lv := make(map[int64]heap.Addr, len(live))
+		for id, a := range live {
+			lv[id] = a
+		}
+		s := snapshot{
+			index: i, phase: phase, mgr: cm, live: lv,
+			pos: at, positioned: pos != nil,
+			foot: m.Footprint(), maxFoot: m.MaxFootprint(), stats: m.Stats(),
+		}
+		if cs, ok := m.(mm.Checksummer); ok {
+			s.sum, s.hasSum = cs.StateChecksum(), true
+		}
+		p.snaps = append(p.snaps, s)
+		return nil
+	}
+
+	var at trace.Pos
+	if pos != nil {
+		at = pos.Pos()
+	}
+	if err := snap(0, 0, at); err != nil {
+		return nil, trace.Result{}, err
+	}
+	var lastPhase int32
+	first := true
+	sinceSnap := 0
+	i := 0
+	for {
+		if i&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, trace.Result{}, fmt.Errorf("replay: build %q on %s: event %d: %w", p.name, m.Name(), i, err)
+			}
+		}
+		if pos != nil {
+			at = pos.Pos()
+		}
+		e, ok, err := src.Next()
+		if err != nil {
+			return nil, trace.Result{}, fmt.Errorf("replay: build %q on %s: event %d: %w", p.name, m.Name(), i, err)
+		}
+		if !ok {
+			break
+		}
+		boundary := !first && e.Phase != lastPhase
+		if opts.Every > 0 && sinceSnap >= opts.Every {
+			boundary = true
+		}
+		if boundary && sinceSnap >= opts.MinWindow && len(p.snaps) < opts.MaxShards {
+			if err := snap(i, e.Phase, at); err != nil {
+				return nil, trace.Result{}, err
+			}
+			sinceSnap = 0
+		}
+		if err := apply(m, live, &e); err != nil {
+			return nil, trace.Result{}, fmt.Errorf("replay: build %q on %s: event %d: %w", p.name, m.Name(), i, err)
+		}
+		res.Events++
+		lastPhase = e.Phase
+		first = false
+		sinceSnap++
+		i++
+	}
+	res.MaxFootprint = m.MaxFootprint()
+	res.Final = m.Footprint()
+	res.Stats = m.Stats()
+	res.MaxLive = res.Stats.MaxLive
+	res.Work = res.Stats.Work
+	p.total = i
+	p.final = shardEnd{foot: res.Final, maxFoot: res.MaxFootprint, stats: res.Stats}
+	if cs, ok := m.(mm.Checksummer); ok {
+		p.final.sum, p.final.hasSum = cs.StateChecksum(), true
+	}
+	return p, res, nil
+}
+
+// apply replays one event against a manager and its live-pointer table,
+// with the exact semantics of the trace package's replay loops.
+func apply(m mm.Manager, live map[int64]heap.Addr, e *trace.Event) error {
+	switch e.Kind {
+	case trace.KindAlloc:
+		a, err := m.Alloc(mm.Request{Size: e.Size, Tag: int(e.Tag), Phase: int(e.Phase)})
+		if err != nil {
+			return fmt.Errorf("alloc %d bytes: %w", e.Size, err)
+		}
+		live[e.ID] = a
+	case trace.KindFree:
+		a, ok := live[e.ID]
+		if !ok {
+			return fmt.Errorf("free of unknown id %d", e.ID)
+		}
+		delete(live, e.ID)
+		if err := m.Free(a); err != nil {
+			return fmt.Errorf("free id %d: %w", e.ID, err)
+		}
+	default:
+		return fmt.Errorf("bad kind %d", e.Kind)
+	}
+	return nil
+}
+
+// Replay runs every window as an independent shard over internal/pool
+// at the given parallelism (<= 0 selects GOMAXPROCS) and merges: each
+// shard clones its snapshot, replays its window, and must land exactly
+// on the next snapshot's state — footprint, high-water mark, cumulative
+// stats, and state checksum are all verified at every seam, and the
+// last shard against the sequential end state. The merged Result is
+// bit-identical to the sequential one; opts.SampleEvery samples at
+// global indices, so even the Series matches trace.RunSource's.
+func (p *Phases) Replay(ctx context.Context, parallelism int, opts trace.RunOpts) (trace.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	K := len(p.snaps)
+	if K == 0 {
+		return trace.Result{}, fmt.Errorf("replay: empty index")
+	}
+	results := make([]trace.Result, K)
+	ends := make([]shardEnd, K)
+	err := pool.Run(ctx, parallelism, K, func(k int) error {
+		r, end, err := p.replayShard(ctx, k, opts)
+		if err != nil {
+			return err
+		}
+		results[k] = r
+		ends[k] = end
+		return nil
+	})
+	if err != nil {
+		return trace.Result{}, err
+	}
+	for k := 0; k < K; k++ {
+		want := p.final
+		if k+1 < K {
+			s := &p.snaps[k+1]
+			want = shardEnd{foot: s.foot, maxFoot: s.maxFoot, stats: s.stats, sum: s.sum, hasSum: s.hasSum}
+		}
+		got := ends[k]
+		switch {
+		case got.foot != want.foot, got.maxFoot != want.maxFoot:
+			return trace.Result{}, fmt.Errorf("replay: shard %d of %q diverged: footprint %d/%d at seam, want %d/%d",
+				k, p.name, got.foot, got.maxFoot, want.foot, want.maxFoot)
+		case got.stats != want.stats:
+			return trace.Result{}, fmt.Errorf("replay: shard %d of %q diverged: stats %+v at seam, want %+v",
+				k, p.name, got.stats, want.stats)
+		case got.hasSum && want.hasSum && got.sum != want.sum:
+			return trace.Result{}, fmt.Errorf("replay: shard %d of %q diverged: state checksum %016x at seam, want %016x",
+				k, p.name, got.sum, want.sum)
+		}
+	}
+	merged := results[K-1]
+	merged.Events = p.total
+	merged.TraceName = p.name
+	if opts.SampleEvery > 0 {
+		var series []trace.Point
+		for k := range results {
+			series = append(series, results[k].Series...)
+		}
+		merged.Series = series
+	}
+	return merged, nil
+}
+
+// ReplayFrom replays only the suffix starting at shard k, sequentially,
+// on a clone of that shard's snapshot — the incremental path: re-running
+// a tail (denser sampling, a seam re-verification) costs only the tail.
+// The returned Result carries the cumulative end-of-trace state, equal
+// to a full sequential replay; its Series covers only the replayed
+// suffix.
+func (p *Phases) ReplayFrom(ctx context.Context, k int, opts trace.RunOpts) (trace.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k < 0 || k >= len(p.snaps) {
+		return trace.Result{}, fmt.Errorf("replay: shard %d out of range [0,%d)", k, len(p.snaps))
+	}
+	res, end, err := p.replaySpan(ctx, k, p.total, opts)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	if end.foot != p.final.foot || end.stats != p.final.stats {
+		return trace.Result{}, fmt.Errorf("replay: suffix from shard %d of %q diverged from the sequential end state", k, p.name)
+	}
+	res.Events = p.total
+	return res, nil
+}
+
+// replayShard replays window k (snapshot k up to snapshot k+1 or the
+// end of the trace).
+func (p *Phases) replayShard(ctx context.Context, k int, opts trace.RunOpts) (trace.Result, shardEnd, error) {
+	end := p.total
+	if k+1 < len(p.snaps) {
+		end = p.snaps[k+1].index
+	}
+	return p.replaySpan(ctx, k, end, opts)
+}
+
+// replaySpan clones snapshot k and replays events [snaps[k].index, end)
+// against the clone, returning the window result and the clone's end
+// state.
+func (p *Phases) replaySpan(ctx context.Context, k, end int, opts trace.RunOpts) (trace.Result, shardEnd, error) {
+	s := &p.snaps[k]
+	fail := func(err error) (trace.Result, shardEnd, error) {
+		return trace.Result{}, shardEnd{}, fmt.Errorf("replay: shard %d of %q (events %d..%d): %w", k, p.name, s.index, end, err)
+	}
+	cl, ok := s.mgr.(mm.Cloner)
+	if !ok {
+		return fail(fmt.Errorf("snapshot manager %s is not cloneable", s.mgr.Name()))
+	}
+	m, err := cl.CloneManager()
+	if err != nil {
+		return fail(err)
+	}
+	live := make(map[int64]heap.Addr, len(s.live))
+	for id, a := range s.live {
+		live[id] = a
+	}
+	res := trace.Result{Manager: m.Name(), TraceName: p.name}
+	step := func(gi int, e *trace.Event) error {
+		if err := apply(m, live, e); err != nil {
+			return fmt.Errorf("event %d: %w", gi, err)
+		}
+		res.Events++
+		if opts.SampleEvery > 0 && gi%opts.SampleEvery == 0 {
+			res.Series = append(res.Series, trace.Point{
+				Index: gi, Tick: e.Tick, Footprint: m.Footprint(), Live: m.Stats().LiveBytes,
+			})
+		}
+		return nil
+	}
+
+	if p.mem != nil {
+		events := p.mem.Events[s.index:end]
+		for j := range events {
+			if j&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					return fail(err)
+				}
+			}
+			if err := step(s.index+j, &events[j]); err != nil {
+				return fail(err)
+			}
+		}
+	} else if err := p.streamSpan(ctx, s, end, step); err != nil {
+		return fail(err)
+	}
+
+	res.MaxFootprint = m.MaxFootprint()
+	res.Final = m.Footprint()
+	res.Stats = m.Stats()
+	res.MaxLive = res.Stats.MaxLive
+	res.Work = res.Stats.Work
+	se := shardEnd{foot: res.Final, maxFoot: res.MaxFootprint, stats: res.Stats}
+	if cs, ok := m.(mm.Checksummer); ok {
+		se.sum, se.hasSum = cs.StateChecksum(), true
+	}
+	return res, se, nil
+}
+
+// streamSpan drives step over events [s.index, end) of a streamed
+// trace: seek straight to the snapshot's position when the Opener
+// supports it, else decode-and-discard the prefix.
+func (p *Phases) streamSpan(ctx context.Context, s *snapshot, end int, step func(gi int, e *trace.Event) error) error {
+	var src trace.Source
+	if oa, ok := p.op.(trace.OpenerAt); ok && s.positioned {
+		var err error
+		if src, err = oa.OpenAt(s.pos); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if src, err = p.op.Open(); err != nil {
+			return err
+		}
+		if err := skipEvents(ctx, src, s.index); err != nil {
+			_ = trace.Close(src)
+			return err
+		}
+	}
+	defer trace.Close(src)
+
+	buf := make([]trace.Event, trace.BatchLen)
+	gi := s.index
+	for gi < end {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		want := end - gi
+		if want > len(buf) {
+			want = len(buf)
+		}
+		n, berr := trace.ReadBatch(src, buf[:want])
+		for j := 0; j < n; j++ {
+			if err := step(gi, &buf[j]); err != nil {
+				return err
+			}
+			gi++
+		}
+		if berr != nil {
+			return berr
+		}
+		if n == 0 {
+			return fmt.Errorf("stream ended at event %d, want %d", gi, end)
+		}
+	}
+	return nil
+}
+
+// skipEvents decodes and discards n events, advancing src to the
+// window's first event for sources that cannot seek.
+func skipEvents(ctx context.Context, src trace.Source, n int) error {
+	buf := make([]trace.Event, trace.BatchLen)
+	skipped := 0
+	for skipped < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		want := n - skipped
+		if want > len(buf) {
+			want = len(buf)
+		}
+		got, err := trace.ReadBatch(src, buf[:want])
+		skipped += got
+		if err != nil {
+			return err
+		}
+		if got == 0 {
+			return fmt.Errorf("stream ended at event %d while skipping to %d", skipped, n)
+		}
+	}
+	return nil
+}

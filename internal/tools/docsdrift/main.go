@@ -1,0 +1,138 @@
+// Command docsdrift is the CI documentation-drift gate: it derives the
+// repo's command surface from the source of truth — the `cmd/*`
+// directory names and the `-exp` experiment names parsed out of
+// dmmbench's flag usage string — and fails when any of them is missing
+// from the user-facing docs (README.md, ARCHITECTURE.md, docs/*.md).
+// A new binary or experiment that ships undocumented, or a doc that
+// still advertises a removed one, breaks the build instead of rotting.
+//
+// Usage (from the module root):
+//
+//	go run ./internal/tools/docsdrift
+//	go run ./internal/tools/docsdrift -root /path/to/module
+//
+// Exit status: 0 when the docs cover the command surface, 1 on drift,
+// 2 when the tree cannot be read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// expUsage matches dmmbench's -exp flag usage string, capturing the
+// comma-separated experiment list.
+var expUsage = regexp.MustCompile(`"experiment: ([a-z0-9, ]+)"`)
+
+// surface is everything the docs must mention.
+type surface struct {
+	commands    []string // cmd/* directory names
+	experiments []string // dmmbench -exp names
+}
+
+// readSurface derives the command surface from the source tree.
+func readSurface(root string) (surface, error) {
+	var s surface
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		return s, fmt.Errorf("listing cmd/: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			s.commands = append(s.commands, e.Name())
+		}
+	}
+	sort.Strings(s.commands)
+
+	src, err := os.ReadFile(filepath.Join(root, "cmd", "dmmbench", "main.go"))
+	if err != nil {
+		return s, fmt.Errorf("reading dmmbench source: %w", err)
+	}
+	m := expUsage.FindSubmatch(src)
+	if m == nil {
+		return s, fmt.Errorf("cmd/dmmbench/main.go: -exp usage string not found (docsdrift parses `\"experiment: a, b, ...\"`)")
+	}
+	for _, name := range strings.Split(string(m[1]), ",") {
+		name = strings.TrimSpace(name)
+		if name != "" && name != "all" {
+			s.experiments = append(s.experiments, name)
+		}
+	}
+	if len(s.experiments) == 0 {
+		return s, fmt.Errorf("cmd/dmmbench/main.go: -exp usage string lists no experiments")
+	}
+	return s, nil
+}
+
+// readDocs concatenates the user-facing docs, remembering which files
+// were read for the error message.
+func readDocs(root string) (string, []string, error) {
+	paths := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "ARCHITECTURE.md"),
+	}
+	globbed, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return "", nil, err
+	}
+	sort.Strings(globbed)
+	paths = append(paths, globbed...)
+
+	var all strings.Builder
+	var read []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", nil, fmt.Errorf("reading %s: %w", p, err)
+		}
+		all.Write(data)
+		all.WriteByte('\n')
+		read = append(read, p)
+	}
+	return all.String(), read, nil
+}
+
+func main() {
+	root := flag.String("root", ".", "module root to check")
+	flag.Parse()
+
+	s, err := readSurface(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docsdrift: %v\n", err)
+		os.Exit(2)
+	}
+	docs, read, err := readDocs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docsdrift: %v\n", err)
+		os.Exit(2)
+	}
+
+	var missing []string
+	for _, c := range s.commands {
+		if !strings.Contains(docs, c) {
+			missing = append(missing, fmt.Sprintf("command cmd/%s", c))
+		}
+	}
+	for _, e := range s.experiments {
+		// Experiments appear in prose as "-exp name", in comma lists or
+		// backticked; a bare substring match covers all of those while
+		// still failing when the name is absent entirely.
+		if !strings.Contains(docs, e) {
+			missing = append(missing, fmt.Sprintf("experiment -exp %s", e))
+		}
+	}
+
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "docsdrift: %d undocumented surface(s) (checked %s):\n", len(missing), strings.Join(read, ", "))
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "  - %s\n", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docsdrift: %d commands and %d experiments all documented\n", len(s.commands), len(s.experiments))
+}

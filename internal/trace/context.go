@@ -37,6 +37,22 @@ func (s *contextSource) Next() (Event, bool, error) {
 	return s.src.Next()
 }
 
+// NextBatch implements BatchSource with one cancellation check per
+// batch, delegating to the wrapped source's batching (or a Next loop
+// via ReadBatch) — so batch-aware consumers behind a context wrapper
+// keep bulk decode.
+func (s *contextSource) NextBatch(dst []Event) (int, error) {
+	if s.done {
+		return 0, s.err
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.done, s.err = true, err
+		Close(s.src)
+		return 0, err
+	}
+	return ReadBatch(s.src, dst)
+}
+
 // Close implements io.Closer by delegating to the wrapped source.
 func (s *contextSource) Close() error {
 	s.done = true

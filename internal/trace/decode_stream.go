@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -62,7 +63,26 @@ func DecodeBinarySource(r io.Reader) (Source, error) {
 		}
 		return &binarySource1{binarySource: binarySource{br: br, name: string(name)}, count: count}, nil
 	}
-	return &binarySource2{binarySource: binarySource{br: br, name: string(name)}}, nil
+	// The DMMT2 decoder reads from the buffered reader directly: the
+	// header's CRC accumulation carries over, and everything after it is
+	// decoded through the block window.
+	return &binarySource2{
+		binarySource: binarySource{name: string(name)},
+		r:            bufr,
+		buf:          make([]byte, batchWindow),
+		crc:          br.crc,
+		off:          int64(magicLen + uvarintLen(nameLen) + len(name)),
+	}, nil
+}
+
+// uvarintLen returns the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // crcReader folds every byte it yields into a running CRC-32C, so the
@@ -213,91 +233,250 @@ func checkWrapped32(i uint64, field string, v uint64) (int32, error) {
 	return int32(v), nil
 }
 
+// batchWindow is the size of the DMMT2 decoder's read window. One block
+// read refills ~1300 events' worth of encoded bytes, so the per-event
+// cost is slice arithmetic, not reader calls.
+const batchWindow = 64 << 10
+
+// maxEventLen is the worst-case encoded size of one DMMT2 event: the
+// kind byte plus five maximal varints. When at least this many bytes
+// are windowed, a full event decodes without any length checks beyond
+// the varint decoders' own.
+const maxEventLen = 1 + 5*binary.MaxVarintLen64
+
+var errVarintOverflow = errors.New("trace: varint overflows 64 bits")
+
 // binarySource2 streams a DMMT2 body: no up-front count, zigzag varints
 // for the signed fields, and a 0xFF end marker followed by the event
 // count, which must match what was decoded (truncation check).
+//
+// It decodes from a block-buffered window — varints are read with
+// binary.Uvarint over the byte slice, and the running CRC-32C is folded
+// over consumed ranges chunk-at-a-time on refill — instead of paying an
+// interface call and a one-byte hash update per byte. The window makes
+// it a natural BatchSource; Next decodes one event from the same window
+// for consumers that need the one-event form.
 type binarySource2 struct {
 	binarySource
+	r       *bufio.Reader
+	buf     []byte // read window
+	pos     int    // next undecoded byte in buf
+	lim     int    // buf[pos:lim] is read but not yet decoded
+	hashed  int    // bytes of buf already folded into crc (<= pos)
+	crc     uint32 // CRC-32C over every consumed byte, header included
+	off     int64  // stream offset of buf[0]
+	eof     bool
+	pend    error // read error surfaced only after buffered events drain
+	skipCRC bool  // mid-stream pass: the prefix was never hashed
+}
+
+// fill folds the consumed prefix into the CRC, slides the undecoded
+// tail to the front of the window, and reads until at least need bytes
+// are available or the stream ends (eof or a pending read error).
+func (s *binarySource2) fill(need int) {
+	if s.lim-s.pos >= need {
+		return
+	}
+	if s.hashed < s.pos {
+		s.crc = crc32.Update(s.crc, castagnoli, s.buf[s.hashed:s.pos])
+		s.hashed = s.pos
+	}
+	if s.pos > 0 {
+		copy(s.buf, s.buf[s.pos:s.lim])
+		s.off += int64(s.pos)
+		s.lim -= s.pos
+		s.pos = 0
+		s.hashed = 0
+	}
+	for s.lim-s.pos < need && !s.eof && s.pend == nil {
+		n, err := s.r.Read(s.buf[s.lim:])
+		s.lim += n
+		switch {
+		case err == io.EOF:
+			s.eof = true
+		case err != nil:
+			s.pend = err
+		case n == 0:
+			s.pend = io.ErrNoProgress
+		}
+	}
+}
+
+// uvarint decodes an unsigned varint at the window position. The caller
+// has ensured the window holds a full event or the final bytes of the
+// stream, so running out of bytes means truncation (or a pending read
+// error).
+func (s *binarySource2) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(s.buf[s.pos:s.lim])
+	if n > 0 {
+		s.pos += n
+		return v, nil
+	}
+	if n < 0 {
+		return 0, errVarintOverflow
+	}
+	if s.pend != nil {
+		return 0, s.pend
+	}
+	return 0, io.ErrUnexpectedEOF
+}
+
+// varint is uvarint for the zigzag-encoded signed fields.
+func (s *binarySource2) varint() (int64, error) {
+	v, n := binary.Varint(s.buf[s.pos:s.lim])
+	if n > 0 {
+		s.pos += n
+		return v, nil
+	}
+	if n < 0 {
+		return 0, errVarintOverflow
+	}
+	if s.pend != nil {
+		return 0, s.pend
+	}
+	return 0, io.ErrUnexpectedEOF
+}
+
+// step decodes one event into e. ok false with a nil error is the clean
+// end of the stream (trailer count and checksum verified); ok false
+// with an error is terminal. The caller latches the terminal state.
+func (s *binarySource2) step(e *Event) (ok bool, err error) {
+	if s.lim-s.pos < maxEventLen && !s.eof && s.pend == nil {
+		s.fill(maxEventLen)
+	}
+	if s.pos == s.lim {
+		if s.pend != nil {
+			return false, fmt.Errorf("trace: event %d: %w", s.i, s.pend)
+		}
+		return false, fmt.Errorf("trace: event %d: truncated stream (missing end marker): %w", s.i, io.ErrUnexpectedEOF)
+	}
+	kb := s.buf[s.pos]
+	if kb == endMarker {
+		s.pos++
+		return false, s.trailer()
+	}
+	// dst buffers are reused across batches: rebuild the event from
+	// scratch so a free never carries a previous event's Size or Tag.
+	*e = Event{Kind: Kind(kb)}
+	if e.Kind != KindAlloc && e.Kind != KindFree {
+		return false, fmt.Errorf("trace: event %d: bad kind %d", s.i, kb)
+	}
+	s.pos++
+	id, err := s.uvarint()
+	if err != nil {
+		return false, err
+	}
+	if e.ID, err = checkID(s.i, id); err != nil {
+		return false, err
+	}
+	if e.Kind == KindAlloc {
+		size, err := s.uvarint()
+		if err != nil {
+			return false, err
+		}
+		if e.Size, err = checkSize(s.i, size); err != nil {
+			return false, err
+		}
+		tag, err := s.varint()
+		if err != nil {
+			return false, err
+		}
+		if e.Tag, err = checkInt32(s.i, "tag", tag); err != nil {
+			return false, err
+		}
+	}
+	phase, err := s.varint()
+	if err != nil {
+		return false, err
+	}
+	if e.Phase, err = checkInt32(s.i, "phase", phase); err != nil {
+		return false, err
+	}
+	dt, err := s.varint()
+	if err != nil {
+		return false, err
+	}
+	e.Tick = s.last + dt
+	s.last = e.Tick
+	s.i++
+	return true, nil
+}
+
+// trailer verifies the end of the stream: the event count must match
+// what was decoded, and the optional CRC-32C (which covers every byte
+// before it and never hashes itself) must match the running checksum.
+// Streams from releases that predate the checksum end at the count and
+// are accepted as-is.
+func (s *binarySource2) trailer() error {
+	count, err := s.uvarint()
+	if err != nil {
+		return fmt.Errorf("trace: reading trailer count: %w", err)
+	}
+	if count != s.i {
+		return fmt.Errorf("trace: trailer count %d, decoded %d events (truncated or corrupt stream)", count, s.i)
+	}
+	// Fold everything consumed so far before touching the CRC bytes, so
+	// they stay out of their own checksum.
+	if s.hashed < s.pos {
+		s.crc = crc32.Update(s.crc, castagnoli, s.buf[s.hashed:s.pos])
+		s.hashed = s.pos
+	}
+	s.fill(crcLen)
+	avail := s.lim - s.pos
+	if avail == 0 && s.eof && s.pend == nil {
+		return nil // legacy stream without a checksum
+	}
+	if avail < crcLen {
+		err := error(io.ErrUnexpectedEOF)
+		if s.pend != nil {
+			err = s.pend
+		}
+		return fmt.Errorf("trace: reading checksum: %w", err)
+	}
+	got := binary.LittleEndian.Uint32(s.buf[s.pos : s.pos+crcLen])
+	s.pos += crcLen
+	s.hashed = s.pos
+	if !s.skipCRC && got != s.crc {
+		return fmt.Errorf("trace: checksum mismatch: trailer %08x, stream %08x (corrupt trace)", got, s.crc)
+	}
+	return nil
 }
 
 func (s *binarySource2) Next() (Event, bool, error) {
 	if s.done {
 		return Event{}, false, s.err
 	}
-	kb, err := s.br.ReadByte()
-	if err != nil {
-		if err == io.EOF {
-			err = fmt.Errorf("trace: event %d: truncated stream (missing end marker): %w", s.i, io.ErrUnexpectedEOF)
-		}
-		return s.finish(fmt.Errorf("trace: event %d: %w", s.i, err))
-	}
-	if kb == endMarker {
-		count, err := binary.ReadUvarint(s.br)
-		if err != nil {
-			return s.finish(fmt.Errorf("trace: reading trailer count: %w", err))
-		}
-		if count != s.i {
-			return s.finish(fmt.Errorf("trace: trailer count %d, decoded %d events (truncated or corrupt stream)", count, s.i))
-		}
-		// The optional CRC-32C trailer covers every byte before it. It is
-		// read off the underlying reader so it does not hash itself;
-		// streams from releases that predate the checksum end at the
-		// count and are accepted as-is.
-		want := s.br.crc
-		var sum [crcLen]byte
-		if n, err := io.ReadFull(s.br.br, sum[:]); err != nil {
-			if err == io.EOF && n == 0 {
-				return s.finish(nil) // legacy stream without a checksum
-			}
-			return s.finish(fmt.Errorf("trace: reading checksum: %w", err))
-		}
-		if got := binary.LittleEndian.Uint32(sum[:]); got != want {
-			return s.finish(fmt.Errorf("trace: checksum mismatch: trailer %08x, stream %08x (corrupt trace)", got, want))
-		}
-		return s.finish(nil)
-	}
-	e := Event{Kind: Kind(kb)}
-	if e.Kind != KindAlloc && e.Kind != KindFree {
-		return s.finish(fmt.Errorf("trace: event %d: bad kind %d", s.i, kb))
-	}
-	id, err := binary.ReadUvarint(s.br)
-	if err != nil {
+	var e Event
+	ok, err := s.step(&e)
+	if !ok {
 		return s.finish(err)
 	}
-	if e.ID, err = checkID(s.i, id); err != nil {
-		return s.finish(err)
-	}
-	if e.Kind == KindAlloc {
-		size, err := binary.ReadUvarint(s.br)
-		if err != nil {
-			return s.finish(err)
-		}
-		if e.Size, err = checkSize(s.i, size); err != nil {
-			return s.finish(err)
-		}
-		tag, err := binary.ReadVarint(s.br)
-		if err != nil {
-			return s.finish(err)
-		}
-		if e.Tag, err = checkInt32(s.i, "tag", tag); err != nil {
-			return s.finish(err)
-		}
-	}
-	phase, err := binary.ReadVarint(s.br)
-	if err != nil {
-		return s.finish(err)
-	}
-	if e.Phase, err = checkInt32(s.i, "phase", phase); err != nil {
-		return s.finish(err)
-	}
-	dt, err := binary.ReadVarint(s.br)
-	if err != nil {
-		return s.finish(err)
-	}
-	e.Tick = s.last + dt
-	s.last = e.Tick
-	s.i++
 	return e, true, nil
+}
+
+// NextBatch implements BatchSource: it decodes events straight out of
+// the read window into dst. Events decoded before a terminal error are
+// returned alongside it.
+func (s *binarySource2) NextBatch(dst []Event) (int, error) {
+	if s.done {
+		return 0, s.err
+	}
+	n := 0
+	for n < len(dst) {
+		ok, err := s.step(&dst[n])
+		if !ok {
+			_, _, _ = s.finish(err)
+			return n, s.err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Pos implements Positioner: it reports the resume point just before
+// the next undecoded event.
+func (s *binarySource2) Pos() Pos {
+	return Pos{Off: s.off + int64(s.pos), Index: s.i, Tick: s.last}
 }
 
 // checkInt32 range-checks a zigzag-decoded int32 field.
@@ -312,10 +491,11 @@ func checkInt32(i uint64, field string, v int64) (int32, error) {
 // independent streaming pass, so exploration can replay the file once
 // per candidate — concurrently — without ever materializing the events.
 type File struct {
-	path   string
-	name   string
-	events int // -1 when the format does not record a count (DMMT2)
-	opts   FileOpts
+	path    string
+	name    string
+	events  int // -1 when the format does not record a count (DMMT2)
+	version int // 1 or 2, from the header probe
+	opts    FileOpts
 }
 
 // OpenFile probes path's header and returns a File. The file must be a
@@ -345,8 +525,10 @@ func OpenFileWith(path string, opts FileOpts) (*File, error) {
 		}
 		f.name = src.Name()
 		f.events = -1
+		f.version = 2
 		if s, ok := src.(Sized); ok {
 			f.events = s.EventCount()
+			f.version = 1
 		}
 		return nil
 	})
@@ -388,6 +570,49 @@ func (f *File) Open() (Source, error) {
 			bs.c = fh
 		}
 		src = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// OpenAt implements OpenerAt for DMMT2 files: it opens a fresh handle
+// and resumes decoding at p, which must have come from the Pos of a
+// source over the same file. The pass yields exactly the events after
+// p; the trailer's event count is still verified (Pos carries the
+// index), but the checksum is not — the bytes before p were never read,
+// so the caller is expected to have verified the file with one full
+// pass first. Seekable handles seek; others discard p.Off bytes.
+func (f *File) OpenAt(p Pos) (Source, error) {
+	if f.version != 2 {
+		return nil, fmt.Errorf("trace: %s: mid-stream resume requires a DMMT2 trace", f.path)
+	}
+	var src Source
+	err := f.opts.Retry.retry(func() error {
+		fh, err := f.opts.open(f.path)
+		if err != nil {
+			return err
+		}
+		r := bufio.NewReader(fh)
+		if sk, ok := fh.(io.Seeker); ok {
+			if _, err := sk.Seek(p.Off, io.SeekStart); err != nil {
+				_ = fh.Close()
+				return fmt.Errorf("trace: %s: seeking to %d: %w", f.path, p.Off, err)
+			}
+			r.Reset(fh)
+		} else if _, err := io.CopyN(io.Discard, r, p.Off); err != nil {
+			_ = fh.Close()
+			return fmt.Errorf("trace: %s: skipping to offset %d: %w", f.path, p.Off, err)
+		}
+		src = &binarySource2{
+			binarySource: binarySource{name: f.name, i: p.Index, last: p.Tick, c: fh},
+			r:            r,
+			buf:          make([]byte, batchWindow),
+			off:          p.Off,
+			skipCRC:      true,
+		}
 		return nil
 	})
 	if err != nil {
