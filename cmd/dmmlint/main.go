@@ -1,6 +1,6 @@
 // Command dmmlint runs dmmkit's determinism/hygiene/cancellation
 // analyzer suite (internal/analysis: detrand, maporder, closecheck,
-// ctxflow, pkgdoc) over Go packages.
+// ctxflow, pkgdoc, lockspan, errwrap, apitag) over Go packages.
 //
 // Two modes share one binary:
 //
@@ -107,6 +107,8 @@ Analyzers:
 Key flags:
   -detrand.pkgs   deterministic package list (default: the engine set)
   -ctxflow.pkgs   cancellation-checked package list (default: core,trace)
+  -lockspan.pkgs  serving-tier package list (default: server/..., pool)
+  -apitag.pkgs    wire-schema package list (default: server/...)
 
 See docs/EXTENDING.md "Determinism invariants & lint rules".
 `)

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVetToolInvocation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"-V=full"}, true},
+		{[]string{"--flags"}, true},
+		{[]string{"-detrand.pkgs=x", "/tmp/unit.cfg"}, true},
+		{[]string{"./..."}, false},
+		{[]string{"-detrand.pkgs=x", "./..."}, false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := vetToolInvocation(tc.args); got != tc.want {
+			t.Errorf("vetToolInvocation(%v) = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+}
+
+// TestThirdPartyExcludedFromModule pins the mechanism every ./... step
+// relies on — standalone dmmlint, `go vet -vettool`, and the CI gofmt
+// and vet steps all assume the vendored third_party tree is outside the
+// module. That holds only because third_party/golang.org/x/tools keeps
+// its own go.mod (a nested module is invisible to the parent's package
+// patterns); deleting that file would silently pull thousands of
+// vendored files into every lint and format gate.
+func TestThirdPartyExcludedFromModule(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "third_party", "golang.org", "x", "tools", "go.mod")); err != nil {
+		t.Fatalf("third_party/golang.org/x/tools/go.mod missing — the vendored tree would join the module: %v", err)
+	}
+	cmd := exec.Command("go", "list", "./...")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list ./...: %v", err)
+	}
+	for _, pkg := range strings.Fields(string(out)) {
+		if strings.Contains(pkg, "third_party") {
+			t.Errorf("go list ./... includes vendored package %s", pkg)
+		}
+	}
+}

@@ -252,6 +252,7 @@ func (m *Manager) bestFit(gross int64) heap.Addr {
 	if gross > smallMax {
 		start = largeIndex(gross)
 	}
+	//dmm:hotloop
 	for avail := m.largeMask >> start; avail != 0; avail &= avail - 1 {
 		i := start + bits.TrailingZeros32(avail)
 		for b := m.large[i]; b != heap.Nil; b = m.v.NextFree(b) {

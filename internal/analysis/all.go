@@ -12,5 +12,8 @@ func All() []*analysis.Analyzer {
 		CloseCheck,
 		CtxFlow,
 		PkgDoc,
+		LockSpan,
+		ErrWrap,
+		APITag,
 	}
 }

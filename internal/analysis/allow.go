@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// allowed reports whether the line holding pos (or the line above it)
+// carries a suppression comment for the named analyzer:
+//
+//	//dmmlint:allow lockspan — send to self-owned buffered channel
+//
+// The text after the analyzer name is the mandatory one-line rationale;
+// a bare `//dmmlint:allow lockspan` with nothing after it does NOT
+// suppress, so every suppression in the tree explains itself. Wave-1
+// analyzers keep their own bless idioms (`_ = x.Close()`,
+// collect-then-sort); the wave-2 analyzers (lockspan, errwrap, apitag)
+// use this shared escape hatch for the rare real-code pattern the
+// analyzer cannot prove safe.
+func allowed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	tf := pass.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	var file *ast.File
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) == tf {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return false
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := tf.Line(c.Pos())
+			if cl != line && cl != line-1 {
+				continue
+			}
+			rest, ok := strings.CutPrefix(c.Text, "//dmmlint:allow ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			// Name match plus a non-empty rationale after it.
+			if len(fields) >= 2 && fields[0] == name {
+				return true
+			}
+		}
+	}
+	return false
+}

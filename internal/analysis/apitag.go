@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// WirePkgs is the default scope of apitag: the serving tier, whose JSON
+// bodies are the frozen wire schema clients and the CI curl smoke
+// depend on.
+const WirePkgs = "dmmkit/internal/server/..."
+
+// APITag freezes the HTTP wire schema against accidental field-rename
+// drift: every exported field of a wire struct must carry an explicit
+// `json:"..."` tag. Without a tag, encoding/json falls back to the Go
+// field name — so renaming a field in a refactor silently renames the
+// JSON key and breaks every client (including the dmmexplore resume
+// path that reads server-drained checkpoint metadata).
+//
+// A struct is a wire struct when it carries at least one json-tagged
+// field, when it appears in an encoding/json Marshal/Unmarshal/
+// Encode/Decode call in its package, or when it is reachable through
+// the fields (including pointers, slices, maps and embedded anonymous
+// structs) of another wire struct in the same package. Pure in-process
+// structs (configs, trackers) never enter the schema and are not
+// flagged. Cross-package fields are checked when their own package is
+// analyzed. A field deliberately left to the default name needs
+// `//dmmlint:allow apitag <why>` — making the freeze explicit.
+var APITag = &analysis.Analyzer{
+	Name:     "apitag",
+	Doc:      "exported fields of serving-tier wire structs must carry explicit json tags",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAPITag,
+}
+
+var apitagPkgs *string
+
+func init() {
+	apitagPkgs = APITag.Flags.String("pkgs", WirePkgs,
+		"comma-separated wire-schema package paths (suffix /... matches subtrees)")
+}
+
+func runAPITag(pass *analysis.Pass) (interface{}, error) {
+	if !matchPkg(pass.Pkg.Path(), *apitagPkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: classify struct type expressions (declaration bodies vs
+	// inline field types vs free-standing anonymous literals) and find
+	// seed wire structs — any struct with a json-tagged field, plus
+	// named types fed to encoding/json calls.
+	seeds := map[*types.Named]bool{}
+	specBody := map[*ast.StructType]bool{}
+	nestedField := map[*ast.StructType]bool{}
+	var structLits []*ast.StructType
+
+	ins.Preorder([]ast.Node{(*ast.TypeSpec)(nil), (*ast.StructType)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.TypeSpec:
+			if st, ok := n.Type.(*ast.StructType); ok {
+				specBody[st] = true
+				if hasJSONTag(st) {
+					if obj := pass.TypesInfo.Defs[n.Name]; obj != nil {
+						if named, ok := obj.Type().(*types.Named); ok {
+							seeds[named] = true
+						}
+					}
+				}
+			}
+		case *ast.StructType:
+			structLits = append(structLits, n)
+			for _, f := range n.Fields.List {
+				if inner, ok := f.Type.(*ast.StructType); ok {
+					nestedField[inner] = true
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+				return
+			}
+			switch fn.Name() {
+			case "Marshal", "MarshalIndent", "Unmarshal", "Encode", "Decode":
+			default:
+				return
+			}
+			for _, arg := range n.Args {
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok {
+					continue
+				}
+				if named := namedStructOf(tv.Type); named != nil && named.Obj().Pkg() == pass.Pkg {
+					seeds[named] = true
+				}
+			}
+		}
+	})
+
+	// Free-standing anonymous wire literals (e.g. a struct typed inline
+	// in a writeJSON call): neither a declaration body nor a field type.
+	var anonWire []*ast.StructType
+	for _, st := range structLits {
+		if hasJSONTag(st) && !specBody[st] && !nestedField[st] {
+			anonWire = append(anonWire, st)
+		}
+	}
+
+	// Pass 2: grow the seed set through same-package field reachability.
+	wire := map[*types.Named]bool{}
+	var grow func(n *types.Named)
+	grow = func(n *types.Named) {
+		if wire[n] {
+			return
+		}
+		wire[n] = true
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if ref := namedStructOf(st.Field(i).Type()); ref != nil && ref.Obj().Pkg() == pass.Pkg {
+				grow(ref)
+			}
+		}
+	}
+	ordered := make([]*types.Named, 0, len(seeds))
+	for n := range seeds {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Obj().Name() < ordered[j].Obj().Name() })
+	for _, n := range ordered {
+		grow(n)
+	}
+
+	// Pass 3: report untagged exported fields of every wire struct's
+	// type declaration (and of anonymous wire struct literals in place).
+	ins.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		obj, ok := pass.TypesInfo.Defs[ts.Name]
+		if !ok || obj == nil {
+			return
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok || !wire[named] {
+			return
+		}
+		checkStructTags(pass, st, ts.Name.Name)
+	})
+	for _, st := range anonWire {
+		checkStructTags(pass, st, "anonymous struct")
+	}
+	return nil, nil
+}
+
+// checkStructTags reports each exported field of st lacking an explicit
+// json tag. Nested anonymous struct fields are checked recursively.
+func checkStructTags(pass *analysis.Pass, st *ast.StructType, name string) {
+	for _, field := range st.Fields.List {
+		exported := false
+		fieldName := ""
+		if len(field.Names) == 0 {
+			// Embedded field: promoted into the JSON object when its
+			// type name is exported.
+			fieldName = embeddedName(field.Type)
+			exported = fieldName != "" && ast.IsExported(fieldName)
+		} else {
+			for _, id := range field.Names {
+				if id.IsExported() {
+					exported = true
+					fieldName = id.Name
+					break
+				}
+			}
+		}
+		if !exported {
+			continue
+		}
+		if !fieldHasJSONTag(field) {
+			if !allowed(pass, field.Pos(), "apitag") {
+				pass.Reportf(field.Pos(),
+					"exported field %s of wire struct %s has no json tag; the wire name would silently track the Go name — tag it explicitly (or //dmmlint:allow apitag <why>)", fieldName, name)
+			}
+			continue
+		}
+		// A tagged field whose type is an inline struct literal must be
+		// fully tagged inside as well (e.g. the nested trace ref).
+		if inner, ok := field.Type.(*ast.StructType); ok {
+			checkStructTags(pass, inner, name+"."+fieldName)
+		}
+	}
+}
+
+// hasJSONTag reports whether any field of the struct literal carries a
+// json struct tag.
+func hasJSONTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if fieldHasJSONTag(f) {
+			return true
+		}
+		if inner, ok := f.Type.(*ast.StructType); ok && hasJSONTag(inner) {
+			return true
+		}
+	}
+	return false
+}
+
+func fieldHasJSONTag(f *ast.Field) bool {
+	if f.Tag == nil {
+		return false
+	}
+	tag := strings.Trim(f.Tag.Value, "`")
+	_, ok := reflect.StructTag(tag).Lookup("json")
+	return ok
+}
+
+// namedStructOf unwraps pointers, slices, arrays and map values down to
+// a named struct type, or nil.
+func namedStructOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return u
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// embeddedName returns the type name of an embedded field expression.
+func embeddedName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr: // generic instantiation
+		return embeddedName(e.X)
+	default:
+		return ""
+	}
+}

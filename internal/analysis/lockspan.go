@@ -1,0 +1,523 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ServingPkgs is the default scope of lockspan: the serving tier and the
+// worker pool, where a mutex held across a blocking operation turns one
+// slow client (or one full channel) into a stalled manager — every other
+// request then queues on the lock. The replay engine itself is
+// single-goroutine-per-candidate and lock-free by design, so it is out
+// of scope.
+const ServingPkgs = "dmmkit/internal/server/...,dmmkit/internal/pool"
+
+// LockSpan flags sync.Mutex/RWMutex critical sections — including those
+// extended to function end by `defer mu.Unlock()` — that span a blocking
+// operation:
+//
+//   - channel sends and receives, and select statements without a
+//     default case;
+//   - time.Sleep and (*sync.WaitGroup).Wait;
+//   - (*sync.Cond).Wait under any lock that is not the Cond's own
+//     Locker (Wait atomically releases its own Locker — that is the
+//     blessed pattern — but it keeps holding everything else);
+//   - I/O-shaped calls: Read/Write methods with the io.Reader/io.Writer
+//     signature, parameterless Flush/Sync, (*json.Encoder).Encode and
+//     (*json.Decoder).Decode (they drive an underlying Writer/Reader),
+//     net/http request/serve calls (Do, ServeHTTP), and the io
+//     package's copy helpers.
+//
+// The analysis is a per-function, order-aware walk: a branch that
+// unlocks and falls through clears the lock only if every fall-through
+// path did; closures and deferred bodies are separate scopes (a
+// goroutine launched under a lock does not hold it). The blessed fix is
+// almost always the one the jobs manager uses: copy what you need under
+// the lock, release, then block (the close-and-replace notify channel,
+// snapshot-then-send). For a send the analyzer cannot prove safe (e.g.
+// a self-owned buffered channel with reserved capacity), suppress with
+// `//dmmlint:allow lockspan <why>`.
+var LockSpan = &analysis.Analyzer{
+	Name:     "lockspan",
+	Doc:      "no mutex may be held across channel ops, sleeps, Cond/WaitGroup waits, or I/O in the serving tier",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockSpan,
+}
+
+var lockspanPkgs *string
+
+func init() {
+	lockspanPkgs = LockSpan.Flags.String("pkgs", ServingPkgs,
+		"comma-separated serving-tier package paths (suffix /... matches subtrees)")
+}
+
+func runLockSpan(pass *analysis.Pass) (interface{}, error) {
+	if !matchPkg(pass.Pkg.Path(), *lockspanPkgs) {
+		return nil, nil
+	}
+	condLockers := condLockerMap(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return
+		}
+		w := &lockWalker{pass: pass, condLockers: condLockers}
+		w.walkStmts(body.List, map[string]token.Pos{})
+	})
+	return nil, nil
+}
+
+// condLockerMap scans the package for `x = sync.NewCond(&y)` and maps
+// the canonical form of x to the canonical form of y, so Cond.Wait can
+// be matched to the one lock it legitimately holds-and-releases.
+func condLockerMap(pass *analysis.Pass) map[string]string {
+	m := map[string]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					continue
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil || fn.Name() != "NewCond" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+					continue
+				}
+				arg := ast.Unparen(call.Args[0])
+				if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					arg = ast.Unparen(ue.X)
+				}
+				m[lockExprKey(as.Lhs[i])] = lockExprKey(arg)
+			}
+			return true
+		})
+	}
+	return m
+}
+
+// exprKey canonicalizes a lock/cond expression for matching Lock against
+// Unlock and Cond against its Locker. Selector chains keep their field
+// path; the root identifier is kept as written (receivers are named
+// consistently within a function, which is the matching that matters).
+func lockExprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return lockExprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return lockExprKey(e.X) + "[...]"
+	case *ast.CallExpr:
+		return lockExprKey(e.Fun) + "()"
+	case *ast.StarExpr:
+		return lockExprKey(e.X)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// fieldPath strips the root identifier from a canonical key: "m.mu"
+// -> ".mu". Used to match a Cond built in a constructor (receiver "m")
+// against a Wait in a method with a differently named receiver.
+func fieldPath(key string) string {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[i:]
+	}
+	return key
+}
+
+// lockWalker walks one function body tracking the set of held locks.
+type lockWalker struct {
+	pass        *analysis.Pass
+	condLockers map[string]string
+}
+
+// walkStmts walks a statement list with the given entry lock set and
+// returns the exit set plus whether the list always terminates (return,
+// branch, panic) before falling through.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) (map[string]token.Pos, bool) {
+	for _, st := range stmts {
+		var terminated bool
+		held, terminated = w.walkStmt(st, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeFallthrough unions the exit states of branches that fall through.
+// A lock is considered held after the construct if any surviving branch
+// still holds it (conservative in the safe direction).
+func mergeFallthrough(states []map[string]token.Pos, terms []bool) (map[string]token.Pos, bool) {
+	out := map[string]token.Pos{}
+	all := true
+	for i, s := range states {
+		if terms[i] {
+			continue
+		}
+		all = false
+		for k, v := range s {
+			if _, ok := out[k]; !ok {
+				out[k] = v
+			}
+		}
+	}
+	return out, all
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held map[string]token.Pos) (map[string]token.Pos, bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if key, locks := w.lockCall(call); key != "" {
+				if locks {
+					held = cloneHeld(held)
+					held[key] = call.Pos()
+				} else {
+					held = cloneHeld(held)
+					delete(held, key)
+				}
+				return held, false
+			}
+		}
+		w.checkBlocking(st.X, held)
+		return held, w.isTerminalCall(st.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end: no
+		// state change. Any other deferred body is a separate scope,
+		// but the deferred call's arguments are evaluated right now.
+		for _, arg := range st.Call.Args {
+			w.checkBlocking(arg, held)
+		}
+		return held, false
+	case *ast.GoStmt:
+		// The goroutine body is a separate scope; launching is
+		// non-blocking. Arguments are evaluated now, though.
+		for _, arg := range st.Call.Args {
+			w.checkBlocking(arg, held)
+		}
+		return held, false
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(st.Pos(), held, "a channel send")
+		}
+		return held, false
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.checkBlocking(rhs, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.checkBlocking(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = w.walkStmt(st.Init, held)
+		}
+		w.checkBlocking(st.Cond, held)
+		bodyExit, bodyTerm := w.walkStmts(st.Body.List, cloneHeld(held))
+		elseExit, elseTerm := cloneHeld(held), false
+		if st.Else != nil {
+			elseExit, elseTerm = w.walkStmt(st.Else, cloneHeld(held))
+		}
+		return mergeFallthrough(
+			[]map[string]token.Pos{bodyExit, elseExit},
+			[]bool{bodyTerm, elseTerm})
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.checkBlocking(st.Cond, held)
+		}
+		bodyExit, _ := w.walkStmts(st.Body.List, cloneHeld(held))
+		merged, _ := mergeFallthrough(
+			[]map[string]token.Pos{held, bodyExit}, []bool{false, false})
+		return merged, false
+	case *ast.RangeStmt:
+		w.checkBlocking(st.X, held)
+		if len(held) > 0 {
+			if tv, ok := w.pass.TypesInfo.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					w.report(st.X.Pos(), held, "a channel-range receive")
+				}
+			}
+		}
+		bodyExit, _ := w.walkStmts(st.Body.List, cloneHeld(held))
+		merged, _ := mergeFallthrough(
+			[]map[string]token.Pos{held, bodyExit}, []bool{false, false})
+		return merged, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			if sw.Tag != nil {
+				w.checkBlocking(sw.Tag, held)
+			}
+			body = sw.Body
+		} else {
+			body = st.(*ast.TypeSwitchStmt).Body
+		}
+		var states []map[string]token.Pos
+		var terms []bool
+		for _, cc := range body.List {
+			clause := cc.(*ast.CaseClause)
+			exit, term := w.walkStmts(clause.Body, cloneHeld(held))
+			states, terms = append(states, exit), append(terms, term)
+		}
+		// No default clause: entry state can also fall through.
+		states, terms = append(states, held), append(terms, false)
+		exit, _ := mergeFallthrough(states, terms)
+		return exit, false
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cc := range st.Body.List {
+			if cc.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.report(st.Pos(), held, "a blocking select")
+		}
+		var states []map[string]token.Pos
+		var terms []bool
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CommClause)
+			exit, term := w.walkStmts(clause.Body, cloneHeld(held))
+			states, terms = append(states, exit), append(terms, term)
+		}
+		exit, allTerm := mergeFallthrough(states, terms)
+		return exit, allTerm && len(st.Body.List) > 0
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, held)
+	case *ast.DeclStmt:
+		return held, false
+	default:
+		// Conservative default: scan the statement's expressions for
+		// blocking operations without changing lock state.
+		w.checkBlocking(st, held)
+		return held, false
+	}
+}
+
+// lockCall classifies call as a lock acquisition or release on a
+// sync.Mutex/RWMutex/Locker receiver. It returns the canonical receiver
+// key and locks=true for Lock/RLock, locks=false for Unlock/RUnlock;
+// key "" means the call is neither.
+func (w *lockWalker) lockCall(call *ast.CallExpr) (key string, locks bool) {
+	fn := calleeFunc(w.pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return lockExprKey(sel.X), true
+	case "Unlock", "RUnlock":
+		return lockExprKey(sel.X), false
+	}
+	return "", false
+}
+
+// checkBlocking reports any blocking operation inside node while locks
+// are held. Nested function literals are separate scopes and skipped.
+func (w *lockWalker) checkBlocking(node ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.report(n.Pos(), held, "a channel receive")
+			}
+		case *ast.CallExpr:
+			if what := w.blockingCall(n, held); what != "" {
+				w.report(n.Pos(), held, what)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall describes why call blocks, or "" if it does not.
+func (w *lockWalker) blockingCall(call *ast.CallExpr, held map[string]token.Pos) string {
+	fn := calleeFunc(w.pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	switch pkg {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		switch name {
+		case "Wait":
+			if sig != nil && sig.Recv() != nil {
+				recv := sig.Recv().Type().String()
+				if strings.HasSuffix(recv, "sync.WaitGroup") {
+					return "WaitGroup.Wait"
+				}
+				if strings.HasSuffix(recv, "sync.Cond") {
+					if w.isCondOwnLocker(call, held) {
+						return ""
+					}
+					return "Cond.Wait (holding a lock that is not the Cond's Locker)"
+				}
+			}
+		}
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull", "WriteString":
+			return "io." + name
+		}
+	case "encoding/json":
+		if name == "Encode" || name == "Decode" {
+			return "json " + name + " (drives the underlying stream)"
+		}
+	case "net/http":
+		if name == "Do" || name == "ServeHTTP" || name == "Get" || name == "Post" {
+			return "an HTTP call"
+		}
+	}
+	// Interface/struct-agnostic I/O shapes.
+	if sig != nil && sig.Recv() != nil {
+		switch name {
+		case "Read", "Write":
+			if ioSignature(sig) {
+				return "an io." + map[string]string{"Read": "Reader", "Write": "Writer"}[name] + "-shaped " + name
+			}
+		case "Flush", "Sync":
+			if sig.Params().Len() == 0 {
+				return "a " + name + " to the underlying stream"
+			}
+		case "ServeHTTP":
+			return "an HTTP call"
+		}
+	}
+	return ""
+}
+
+// ioSignature reports whether sig is ([]byte) (int, error).
+func ioSignature(sig *types.Signature) bool {
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	p, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok || p.Elem().String() != "byte" {
+		return false
+	}
+	return sig.Results().At(0).Type().String() == "int" &&
+		sig.Results().At(1).Type().String() == "error"
+}
+
+// isCondOwnLocker reports whether the only held lock is the Cond's own
+// Locker (matched through the package's sync.NewCond sites, comparing
+// field paths so constructor and method receiver names may differ).
+func (w *lockWalker) isCondOwnLocker(call *ast.CallExpr, held map[string]token.Pos) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	condKey := lockExprKey(sel.X)
+	locker, ok := w.condLockers[condKey]
+	if !ok {
+		// Try the field-path form: any NewCond site whose cond path
+		// matches this receiver's path.
+		for ck, lk := range w.condLockers {
+			if fieldPath(ck) == fieldPath(condKey) {
+				locker, ok = lk, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return false
+	}
+	for heldKey := range held {
+		if heldKey != locker && fieldPath(heldKey) != fieldPath(locker) {
+			return false
+		}
+	}
+	return true
+}
+
+// isTerminalCall reports whether e is a call that never returns (panic,
+// os.Exit, runtime.Goexit, (*testing.common).Fatal*).
+func (w *lockWalker) isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isFunc := w.pass.TypesInfo.Uses[id].(*types.Func); !isFunc {
+			return true // the builtin
+		}
+	}
+	fn := calleeFunc(w.pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "os.Exit", "runtime.Goexit":
+		return true
+	}
+	return false
+}
+
+func (w *lockWalker) report(pos token.Pos, held map[string]token.Pos, what string) {
+	if allowed(w.pass, pos, "lockspan") {
+		return
+	}
+	// Name one held lock deterministically (the earliest acquisition).
+	var lock string
+	var lockPos token.Pos
+	for k, p := range held {
+		if lock == "" || p < lockPos || (p == lockPos && k < lock) {
+			lock, lockPos = k, p
+		}
+	}
+	w.pass.Reportf(pos,
+		"%s is held across %s; release the lock first (copy under lock, then block) — a blocked holder stalls every other acquirer", lock, what)
+}

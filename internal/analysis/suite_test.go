@@ -36,6 +36,32 @@ func TestCtxFlow(t *testing.T) {
 		map[string]string{"pkgs": "ctxflowfix"})
 }
 
+func TestLockSpan(t *testing.T) {
+	atest.Run(t, "testdata", analysis.LockSpan, "lockspanfix",
+		map[string]string{"pkgs": "lockspanfix"})
+}
+
+func TestLockSpanScopedToConfiguredPackages(t *testing.T) {
+	// A fixture outside the configured -pkgs list must yield zero
+	// diagnostics (pkgdocok has no wants, so any report fails the run).
+	atest.Run(t, "testdata", analysis.LockSpan, "pkgdocok",
+		map[string]string{"pkgs": "dmmkit/internal/server/..."})
+}
+
+func TestErrWrap(t *testing.T) {
+	atest.Run(t, "testdata", analysis.ErrWrap, "errwrapfix", nil)
+}
+
+func TestAPITag(t *testing.T) {
+	atest.Run(t, "testdata", analysis.APITag, "apitagfix",
+		map[string]string{"pkgs": "apitagfix"})
+}
+
+func TestAPITagScopedToConfiguredPackages(t *testing.T) {
+	atest.Run(t, "testdata", analysis.APITag, "pkgdocok",
+		map[string]string{"pkgs": "dmmkit/internal/server/..."})
+}
+
 func TestPkgDoc(t *testing.T) {
 	atest.Run(t, "testdata", analysis.PkgDoc, "pkgdocfix", nil)
 }
@@ -46,10 +72,10 @@ func TestPkgDocDocumented(t *testing.T) {
 
 func TestAllStable(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	if len(all) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(all))
 	}
-	names := []string{"detrand", "maporder", "closecheck", "ctxflow", "pkgdoc"}
+	names := []string{"detrand", "maporder", "closecheck", "ctxflow", "pkgdoc", "lockspan", "errwrap", "apitag"}
 	for i, a := range all {
 		if a.Name != names[i] {
 			t.Errorf("All()[%d] = %s, want %s", i, a.Name, names[i])

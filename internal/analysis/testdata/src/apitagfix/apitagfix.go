@@ -1,0 +1,91 @@
+// Package apitagfix is the apitag fixture: wire structs whose exported
+// fields must pin their JSON names, next to in-process structs the
+// analyzer must leave alone.
+package apitagfix
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Tagged wire struct with one drifting field: the untagged field's JSON
+// key would silently track a Go rename.
+type jobSnapshot struct {
+	ID      string    `json:"id"`
+	State   string    `json:"state"`
+	Created time.Time // want `exported field Created of wire struct jobSnapshot has no json tag`
+	Done    int       `json:"done"`
+}
+
+// Reachable through a wire struct's fields: result has no tags of its
+// own but rides inside jobSnapshotList, so its exported fields are wire
+// schema too.
+type result struct {
+	Best  string // want `exported field Best of wire struct result has no json tag`
+	Count int    // want `exported field Count of wire struct result has no json tag`
+}
+
+type jobSnapshotList struct {
+	Jobs    []jobSnapshot `json:"jobs"`
+	Results []*result     `json:"results,omitempty"`
+}
+
+// Marshalled directly: seeds the wire set even without a single tag.
+type metricsBody struct {
+	Count int // want `exported field Count of wire struct metricsBody has no json tag`
+}
+
+func writeMetrics(w io.Writer, m metricsBody) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// Blessed: fully tagged, including the inline nested struct.
+type createRequest struct {
+	Kind  string `json:"kind"`
+	Trace struct {
+		ID   string `json:"id,omitempty"`
+		Seed int64  `json:"seed,omitempty"`
+	} `json:"trace"`
+}
+
+// Violation inside an inline nested struct of a tagged field.
+type createResponse struct {
+	ID    string `json:"id"`
+	Stats struct {
+		Events int `json:"events"`
+		Bytes  int // want `exported field Bytes of wire struct createResponse\.Stats has no json tag`
+	} `json:"stats"`
+}
+
+// Blessed: in-process config — no json tag anywhere, never marshalled,
+// so it is not wire schema and stays untagged.
+type managerConfig struct {
+	Workers    int
+	QueueDepth int
+	Clock      func() time.Time
+}
+
+// Blessed: unexported fields never marshal; only exported fields need
+// tags.
+type eventBody struct {
+	Seq  int `json:"seq"`
+	next *eventBody
+}
+
+// Blessed: deliberate default name, frozen explicitly with a rationale.
+type legacyBody struct {
+	Seq int `json:"seq"`
+	//dmmlint:allow apitag wire name Total predates the tagging rule and is frozen as-is
+	Total int
+}
+
+// keep the otherwise-unused types alive for the type checker.
+var (
+	_ = jobSnapshotList{}
+	_ = createRequest{}
+	_ = createResponse{}
+	_ = managerConfig{}
+	_ = eventBody{}
+	_ = legacyBody{}
+)

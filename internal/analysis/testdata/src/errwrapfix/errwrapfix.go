@@ -1,0 +1,74 @@
+// Package errwrapfix is the errwrap fixture: fmt.Errorf wrap hygiene
+// and error-message comparisons, violations next to blessed patterns.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type opError struct{ msg string }
+
+func (e *opError) Error() string { return e.msg }
+
+func wrapSites(err error, path string) error {
+	if err != nil {
+		return fmt.Errorf("open %s: %v", path, err) // want `fmt.Errorf formats an error operand without %w`
+	}
+	if err != nil {
+		return fmt.Errorf("open %s: %s", path, err) // want `fmt.Errorf formats an error operand without %w`
+	}
+	// Blessed: %w keeps the chain visible to errors.Is/As.
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	// Blessed: two causes, two %w verbs.
+	if err != nil {
+		return fmt.Errorf("decode: %w (after %w)", err, errSentinel)
+	}
+	// Violation: two error operands, only one wrapped.
+	if err != nil {
+		return fmt.Errorf("decode: %w then %v", err, errSentinel) // want `fmt.Errorf formats an error operand without %w`
+	}
+	// Blessed: no error operand at all.
+	return fmt.Errorf("open %s: gave up", path)
+}
+
+func typedOperand(e *opError) error {
+	return fmt.Errorf("op failed: %v", e) // want `fmt.Errorf formats an error operand without %w`
+}
+
+// Blessed: deliberate flattening with a rationale.
+func frozenMessage(err error) error {
+	//dmmlint:allow errwrap user-facing message is frozen; the cause must not leak
+	return fmt.Errorf("internal error: %v", err)
+}
+
+func compareSites(err error) bool {
+	if err.Error() == "file exists" { // want `comparing err.Error\(\) against a string literal`
+		return true
+	}
+	const gone = "not found"
+	if gone != err.Error() { // want `comparing err.Error\(\) against a string literal`
+		return false
+	}
+	// Blessed: identity comparison instead of text.
+	if errors.Is(err, errSentinel) {
+		return true
+	}
+	var oe *opError
+	if errors.As(err, &oe) {
+		return true
+	}
+	// Blessed: comparing two dynamic strings is out of scope.
+	other := errSentinel
+	return err.Error() == other.Error()
+}
+
+// Blessed: suppressed comparison (decoded errors only exist as text).
+func decodedError(err error) bool {
+	//dmmlint:allow errwrap checkpoint-decoded errors carry no identity, only text
+	return err.Error() == "replay exploded"
+}

@@ -1,0 +1,176 @@
+// Package lockspanfix is the lockspan fixture: critical sections that
+// span blocking operations, next to the blessed copy-then-release
+// patterns the serving tier uses.
+package lockspanfix
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+type manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	other sync.Mutex
+	ch    chan int
+	out   io.Writer
+	subs  []chan int
+}
+
+func newManager() *manager {
+	m := &manager{ch: make(chan int)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *manager) sendUnderLock(v int) {
+	m.mu.Lock()
+	m.ch <- v // want `m\.mu is held across a channel send`
+	m.mu.Unlock()
+}
+
+func (m *manager) sendUnderDeferredUnlock(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ch <- v // want `m\.mu is held across a channel send`
+}
+
+func (m *manager) receiveUnderLock() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return <-m.ch // want `m\.mu is held across a channel receive`
+}
+
+func (m *manager) sleepUnderLock() {
+	m.mu.Lock()
+	time.Sleep(time.Millisecond) // want `m\.mu is held across time\.Sleep`
+	m.mu.Unlock()
+}
+
+func (m *manager) writeUnderLock(p []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.out.Write(p) // want `m\.mu is held across an io\.Writer-shaped Write`
+}
+
+func (m *manager) encodeUnderLock(v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	json.NewEncoder(m.out).Encode(v) // want `m\.mu is held across json Encode`
+}
+
+func (m *manager) selectUnderLock(done chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // want `m\.mu is held across a blocking select`
+	case <-done:
+	case v := <-m.ch:
+		_ = v
+	}
+}
+
+func (m *manager) rangeUnderLock() int {
+	total := 0
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for v := range m.ch { // want `m\.mu is held across a channel-range receive`
+		total += v
+	}
+	return total
+}
+
+// Blessed: Cond.Wait holding only the Cond's own Locker — that is the
+// sync.Cond contract (Wait releases and reacquires it).
+func (m *manager) waitOwnLocker() {
+	m.mu.Lock()
+	for len(m.subs) == 0 {
+		m.cond.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// Violation: Cond.Wait releases m.mu, but m.other stays held while the
+// goroutine parks.
+func (m *manager) waitForeignLock() {
+	m.other.Lock()
+	m.mu.Lock()
+	m.cond.Wait() // want `held across Cond\.Wait`
+	m.mu.Unlock()
+	m.other.Unlock()
+}
+
+// Blessed: copy under the lock, release, then block.
+func (m *manager) snapshotThenSend(v int) {
+	m.mu.Lock()
+	subs := make([]chan int, len(m.subs))
+	copy(subs, m.subs)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// Blessed: the branch that unlocks falls through, and every path
+// released the lock before the send.
+func (m *manager) unlockAllPathsThenSend(fast bool, v int) {
+	m.mu.Lock()
+	if fast {
+		m.mu.Unlock()
+	} else {
+		m.subs = nil
+		m.mu.Unlock()
+	}
+	m.ch <- v
+}
+
+// Violation: only one branch released the lock before the send.
+func (m *manager) unlockOnePathThenSend(fast bool, v int) {
+	m.mu.Lock()
+	if fast {
+		m.mu.Unlock()
+	}
+	m.ch <- v // want `m\.mu is held across a channel send`
+}
+
+// Blessed: a branch that unlocks and returns does not release the
+// fall-through path's lock; the send after the final unlock is clean.
+func (m *manager) earlyReturnPattern(v int) {
+	m.mu.Lock()
+	if len(m.subs) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	m.ch <- v
+}
+
+// Blessed: a goroutine launched under the lock runs in its own scope —
+// the spawner holds the lock, the goroutine does not.
+func (m *manager) spawnUnderLock(v int) {
+	m.mu.Lock()
+	go func() {
+		m.ch <- v
+	}()
+	m.mu.Unlock()
+}
+
+// Blessed: select with a default case never blocks.
+func (m *manager) nonBlockingNotify(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case m.ch <- v:
+	default:
+	}
+}
+
+// Blessed: suppression with rationale for a send the analyzer cannot
+// prove safe.
+func (m *manager) reservedCapacitySend(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//dmmlint:allow lockspan self-owned buffered channel with reserved capacity
+	m.ch <- v
+}

@@ -40,7 +40,7 @@ func ResolveMode(strategy, objectives string) (objs []core.Objective, multi bool
 	}
 	objs, err = core.ParseObjectives(objectives)
 	if err != nil {
-		return nil, false, fmt.Errorf("bad objectives: %v (valid: footprint or footprint,work)", err)
+		return nil, false, fmt.Errorf("bad objectives: %w (valid: footprint or footprint,work)", err)
 	}
 	hasWork, hasFootprint := false, false
 	for _, o := range objs {

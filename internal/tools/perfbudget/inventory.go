@@ -1,0 +1,405 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Inventory is the machine-readable performance surface of the hot-path
+// packages: for every function, whether the compiler can inline it (and
+// the normalized reason when it cannot), which values escape to the
+// heap, and how many bounds checks survive inside loops annotated
+// //dmm:hotloop. It is the "got" side of the perf_budget.json golden.
+type Inventory struct {
+	// GoVersion is the major.minor toolchain prefix (e.g. "go1.24") the
+	// inventory was measured with. Compiler diagnostics are not stable
+	// across releases, so the gate only compares inventories from the
+	// same prefix; CI pins the toolchain.
+	GoVersion string               `json:"go_version"`
+	Packages  map[string]*PkgFacts `json:"packages"`
+}
+
+// PkgFacts holds the per-function facts of one package.
+type PkgFacts struct {
+	Funcs map[string]*FuncFacts `json:"funcs"`
+}
+
+// FuncFacts is the budgeted surface of one function. Sites are keyed
+// symbolically — by the compiler's own expression text, never by line
+// number — so moving code around without changing its performance shape
+// does not churn the budget.
+type FuncFacts struct {
+	// Inline reports whether the compiler can inline the function.
+	Inline bool `json:"inline"`
+	// InlineReason is the cannot-inline reason with digit runs
+	// normalized to N ("function too complex: cost N exceeds budget N",
+	// "marked go:noinline"). Empty when Inline is true.
+	InlineReason string `json:"inline_reason,omitempty"`
+	// Escapes counts heap-escape diagnostics by message text, e.g.
+	// "&crcReader{...} escapes to heap" -> 2.
+	Escapes map[string]int `json:"escapes,omitempty"`
+	// HotLoops is the number of //dmm:hotloop-annotated loops in the
+	// function (measured from source, not compiler output — it pins the
+	// annotations themselves).
+	HotLoops int `json:"hot_loops,omitempty"`
+	// HotBoundsChecks counts IsInBounds/IsSliceInBounds checks the
+	// compiler could not eliminate inside annotated hot loops.
+	HotBoundsChecks int `json:"hot_bounds_checks,omitempty"`
+}
+
+func (inv *Inventory) fn(pkg, name string) *FuncFacts {
+	p := inv.Packages[pkg]
+	if p == nil {
+		p = &PkgFacts{Funcs: map[string]*FuncFacts{}}
+		inv.Packages[pkg] = p
+	}
+	f := p.Funcs[name]
+	if f == nil {
+		f = &FuncFacts{}
+		p.Funcs[name] = f
+	}
+	return f
+}
+
+// resolver maps a diagnostic's file:line to the enclosing function
+// symbol and reports whether the line is inside a //dmm:hotloop loop.
+// The real implementation is srcMap; parser tests inject a fake.
+type resolver interface {
+	funcAt(file string, line int) string
+	hotAt(file string, line int) bool
+}
+
+// diagRE matches a compiler diagnostic line: file.go:line:col: message.
+// Everything else — "# pkg" headers are handled separately — is noise
+// the parser must ignore: blank lines, "go:" toolchain notes, link
+// output.
+var diagRE = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.*)$`)
+
+// closureRE matches compiler-synthesized closure symbols
+// ((*Heap).segIndex.func1, Run.gowrap1, flush.deferwrap1). Their inline
+// status churns with unrelated edits; escape and bounds facts inside
+// them are attributed to the enclosing declared function via source
+// ranges instead.
+var closureRE = regexp.MustCompile(`\.(func|gowrap|deferwrap)\d+`)
+
+// digitsRE normalizes volatile numbers (inline costs, budgets) out of
+// cannot-inline reasons.
+var digitsRE = regexp.MustCompile(`\d+`)
+
+// typeArgsRE strips instantiation brackets from generic symbols.
+var typeArgsRE = regexp.MustCompile(`\[.*\]`)
+
+// parseM2 folds `go build -gcflags=-m=2` output into inv. Recognized
+// messages: "can inline X with cost N as: ...", "cannot inline X:
+// reason", the bare "... escapes to heap" site line (the duplicate
+// header form ends in a colon and is skipped, as are the indented
+// "flow:" detail lines), and "moved to heap: x".
+func parseM2(out string, res resolver, inv *Inventory) {
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil || pkg == "" {
+			continue
+		}
+		file, msg := m[1], m[4]
+		lineNo, _ := strconv.Atoi(m[2])
+		if strings.HasPrefix(msg, " ") { // indented detail ("flow: ...")
+			continue
+		}
+		switch {
+		case strings.HasPrefix(msg, "can inline "):
+			name, _, ok := strings.Cut(msg[len("can inline "):], " with cost ")
+			if !ok || closureRE.MatchString(name) {
+				continue
+			}
+			inv.fn(pkg, typeArgsRE.ReplaceAllString(name, "")).Inline = true
+		case strings.HasPrefix(msg, "cannot inline "):
+			name, reason, ok := strings.Cut(msg[len("cannot inline "):], ": ")
+			if !ok || closureRE.MatchString(name) {
+				continue
+			}
+			f := inv.fn(pkg, typeArgsRE.ReplaceAllString(name, ""))
+			f.Inline = false
+			f.InlineReason = digitsRE.ReplaceAllString(reason, "N")
+		case strings.HasSuffix(msg, " escapes to heap") || strings.HasPrefix(msg, "moved to heap: "):
+			fn := res.funcAt(file, lineNo)
+			if fn == "" {
+				fn = "(package scope)"
+			}
+			f := inv.fn(pkg, fn)
+			if f.Escapes == nil {
+				f.Escapes = map[string]int{}
+			}
+			f.Escapes[msg]++
+		}
+	}
+}
+
+// parseBCE folds `go build -gcflags=-d=ssa/check_bce/debug=1` output
+// into inv, counting only checks inside //dmm:hotloop-annotated loops.
+func parseBCE(out string, res resolver, inv *Inventory) {
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil || pkg == "" {
+			continue
+		}
+		file, msg := m[1], m[4]
+		if msg != "Found IsInBounds" && msg != "Found IsSliceInBounds" {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		if !res.hotAt(file, lineNo) {
+			continue
+		}
+		fn := res.funcAt(file, lineNo)
+		if fn == "" {
+			continue
+		}
+		inv.fn(pkg, fn).HotBoundsChecks++
+	}
+}
+
+// srcMap maps diagnostic positions back to declared functions and
+// //dmm:hotloop loop ranges, built by parsing every non-test source
+// file of the measured packages.
+type srcMap struct {
+	files map[string]*fileInfo // keyed by absolute path
+}
+
+type fileInfo struct {
+	pkg   string
+	funcs []funcRange
+	hot   []lineRange
+}
+
+type funcRange struct {
+	name       string
+	start, end int
+}
+
+type lineRange struct{ start, end int }
+
+// loadSrcMap parses the non-test .go files of each listed package
+// (importPath -> dir) and additionally records, per function, how many
+// //dmm:hotloop loops it contains, seeding those counts into inv.
+func loadSrcMap(pkgs map[string]string, inv *Inventory) (*srcMap, error) {
+	sm := &srcMap{files: map[string]*fileInfo{}}
+	for _, importPath := range sortedKeys(pkgs) {
+		dir := pkgs[importPath]
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			fi, err := parseSourceFile(path, importPath)
+			if err != nil {
+				return nil, err
+			}
+			sm.files[path] = fi
+			for _, h := range fi.hot {
+				if fn := fi.funcAtLine(h.start); fn != "" {
+					inv.fn(importPath, fn).HotLoops++
+				}
+			}
+		}
+	}
+	return sm, nil
+}
+
+func parseSourceFile(path, importPath string) (*fileInfo, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	fi := &fileInfo{pkg: importPath}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		fi.funcs = append(fi.funcs, funcRange{
+			name:  funcSymbol(fn),
+			start: fset.Position(fn.Pos()).Line,
+			end:   fset.Position(fn.End()).Line,
+		})
+	}
+	// A //dmm:hotloop comment marks the for/range statement on the same
+	// line or the line directly below it.
+	hotLines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "dmm:hotloop") {
+				hotLines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	if len(hotLines) > 0 {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				start := fset.Position(n.Pos()).Line
+				if hotLines[start] || hotLines[start-1] {
+					fi.hot = append(fi.hot, lineRange{start: start, end: fset.Position(n.End()).Line})
+				}
+			}
+			return true
+		})
+	}
+	return fi, nil
+}
+
+// funcSymbol renders a declaration the way -m=2 names it: Name,
+// T.Name, or (*T).Name.
+func funcSymbol(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if ptr, ok := t.(*ast.StarExpr); ok {
+		return "(*" + typeName(ptr.X) + ")." + fn.Name.Name
+	}
+	return typeName(t) + "." + fn.Name.Name
+}
+
+func typeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver: T[P]
+		return typeName(e.X)
+	case *ast.IndexListExpr:
+		return typeName(e.X)
+	default:
+		return "?"
+	}
+}
+
+func (fi *fileInfo) funcAtLine(line int) string {
+	best, span := "", 1<<31-1
+	for _, fr := range fi.funcs {
+		if fr.start <= line && line <= fr.end && fr.end-fr.start < span {
+			best, span = fr.name, fr.end-fr.start
+		}
+	}
+	return best
+}
+
+func (sm *srcMap) funcAt(file string, line int) string {
+	fi := sm.lookup(file)
+	if fi == nil {
+		return ""
+	}
+	return fi.funcAtLine(line)
+}
+
+func (sm *srcMap) hotAt(file string, line int) bool {
+	fi := sm.lookup(file)
+	if fi == nil {
+		return false
+	}
+	for _, h := range fi.hot {
+		if h.start <= line && line <= h.end {
+			return true
+		}
+	}
+	return false
+}
+
+func (sm *srcMap) lookup(file string) *fileInfo {
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		return nil
+	}
+	return sm.files[abs]
+}
+
+// listPackages expands the comma-separated patterns to importPath->dir.
+func listPackages(patterns string) (map[string]string, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, strings.Split(patterns, ",")...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", patterns, err)
+	}
+	pkgs := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		ip, dir, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		pkgs[ip] = dir
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages match %q", patterns)
+	}
+	return pkgs, nil
+}
+
+// capture rebuilds the named packages with the given -gcflags and
+// returns the compiler's diagnostics. A build cache hit still reprints
+// them, so this is safe to run repeatedly.
+func capture(gcflags string, pkgs []string) (string, error) {
+	args := append([]string{"build", "-gcflags=" + gcflags}, pkgs...)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build -gcflags=%s failed: %w\n%s", gcflags, err, out)
+	}
+	return string(out), nil
+}
+
+// measure builds the full inventory for the packages matching patterns.
+func measure(patterns, goVersion string) (*Inventory, error) {
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	inv := &Inventory{GoVersion: goVersion, Packages: map[string]*PkgFacts{}}
+	sm, err := loadSrcMap(pkgs, inv)
+	if err != nil {
+		return nil, err
+	}
+	names := sortedKeys(pkgs)
+	m2, err := capture("-m=2", names)
+	if err != nil {
+		return nil, err
+	}
+	parseM2(m2, sm, inv)
+	bce, err := capture("-d=ssa/check_bce/debug=1", names)
+	if err != nil {
+		return nil, err
+	}
+	parseBCE(bce, sm, inv)
+	return inv, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fakeResolver maps positions to functions from a hand-written table,
+// so the parser goldens run without invoking the compiler.
+type fakeResolver struct {
+	funcs map[string]string // "file:line" -> symbol
+	hot   map[string]bool   // "file:line" -> in hot loop
+}
+
+func (f fakeResolver) funcAt(file string, line int) string {
+	return f.funcs[key(file, line)]
+}
+
+func (f fakeResolver) hotAt(file string, line int) bool {
+	return f.hot[key(file, line)]
+}
+
+func key(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func readFixture(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestParseM2Golden runs the -m=2 parser over captured compiler output
+// that includes everything it must skip: a "go:" toolchain note, "# pkg"
+// headers, indented flow detail lines, the duplicated header (trailing
+// colon) and bare forms of each escape site, closure inline lines, and
+// a positionless chatter line.
+func TestParseM2Golden(t *testing.T) {
+	res := fakeResolver{funcs: map[string]string{
+		"internal/trace/context.go:12": "newContextSource",
+		"internal/trace/context.go:30": "readName",
+		"internal/trace/context.go:31": "readName",
+		"internal/trace/context.go:40": "readName",
+	}}
+	inv := &Inventory{GoVersion: "go1.24", Packages: map[string]*PkgFacts{}}
+	parseM2(readFixture(t, "m2_sample.txt"), res, inv)
+
+	heap := inv.Packages["dmmkit/internal/heap"]
+	if heap == nil {
+		t.Fatal("no heap package in inventory")
+	}
+	wantHeap := map[string]*FuncFacts{
+		"(*Heap).U32":     {Inline: true},
+		"(*Heap).u32Slow": {Inline: false, InlineReason: "marked go:noinline"},
+		"(*Heap).Sbrk":    {Inline: false, InlineReason: "function too complex: cost N exceeds budget N"},
+	}
+	if !reflect.DeepEqual(heap.Funcs, wantHeap) {
+		t.Errorf("heap funcs = %+v, want %+v", dump(heap.Funcs), dump(wantHeap))
+	}
+
+	trace := inv.Packages["dmmkit/internal/trace"]
+	if trace == nil {
+		t.Fatal("no trace package in inventory")
+	}
+	wantTrace := map[string]*FuncFacts{
+		"newContextSource": {Escapes: map[string]int{"&contextSource{...} escapes to heap": 1}},
+		"readName": {Escapes: map[string]int{
+			"make([]byte, nameLen) escapes to heap": 2,
+			"moved to heap: scratch":                1,
+		}},
+		// Generic instantiation brackets are stripped from the symbol.
+		"mapKeys": {Inline: true},
+	}
+	if !reflect.DeepEqual(trace.Funcs, wantTrace) {
+		t.Errorf("trace funcs = %v, want %v", dump(trace.Funcs), dump(wantTrace))
+	}
+}
+
+func dump(m map[string]*FuncFacts) map[string]FuncFacts {
+	out := map[string]FuncFacts{}
+	for k, v := range m {
+		out[k] = *v
+	}
+	return out
+}
+
+// TestParseBCEGolden: only checks inside hot ranges are counted, and
+// the toolchain note and headers are ignored.
+func TestParseBCEGolden(t *testing.T) {
+	res := fakeResolver{
+		funcs: map[string]string{
+			"internal/trace/decode_stream.go:466": "(*binarySource2).NextBatch",
+			"internal/trace/decode_stream.go:500": "(*binarySource2).step",
+			"internal/heap/heap.go:206":           "(*Heap).segIndex",
+		},
+		hot: map[string]bool{
+			"internal/trace/decode_stream.go:466": true,
+			"internal/trace/decode_stream.go:500": true,
+			// heap.go:206 and decode_stream.go:510 are outside hot loops.
+		},
+	}
+	inv := &Inventory{GoVersion: "go1.24", Packages: map[string]*PkgFacts{}}
+	parseBCE(readFixture(t, "bce_sample.txt"), res, inv)
+
+	trace := inv.Packages["dmmkit/internal/trace"]
+	if trace == nil {
+		t.Fatal("no trace package in inventory")
+	}
+	if got := trace.Funcs["(*binarySource2).NextBatch"].HotBoundsChecks; got != 1 {
+		t.Errorf("NextBatch hot bounds = %d, want 1", got)
+	}
+	if got := trace.Funcs["(*binarySource2).step"].HotBoundsChecks; got != 1 {
+		t.Errorf("step hot bounds = %d, want 1", got)
+	}
+	if inv.Packages["dmmkit/internal/heap"] != nil {
+		t.Errorf("cold bounds check leaked into inventory: %v", dump(inv.Packages["dmmkit/internal/heap"].Funcs))
+	}
+}
+
+func TestDiffInventories(t *testing.T) {
+	mk := func() *Inventory {
+		return &Inventory{GoVersion: "go1.24", Packages: map[string]*PkgFacts{
+			"p": {Funcs: map[string]*FuncFacts{
+				"F": {Inline: true},
+				"G": {Inline: false, InlineReason: "r", Escapes: map[string]int{"x escapes to heap": 1}, HotLoops: 1, HotBoundsChecks: 2},
+			}},
+		}}
+	}
+	if d := diffInventories(mk(), mk()); len(d) != 0 {
+		t.Fatalf("identical inventories diff: %v", d)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Inventory)
+		want   string
+	}{
+		{"inline lost", func(i *Inventory) {
+			f := i.Packages["p"].Funcs["F"]
+			f.Inline = false
+			f.InlineReason = "function too complex: cost N exceeds budget N"
+		}, `p: F: inline true -> false (function too complex: cost N exceeds budget N)`},
+		{"new escape", func(i *Inventory) {
+			i.Packages["p"].Funcs["F"].Escapes = map[string]int{"y escapes to heap": 1}
+		}, `p: F: escape "y escapes to heap": 0 -> 1`},
+		{"escape gone (improvement still diffs)", func(i *Inventory) {
+			delete(i.Packages["p"].Funcs["G"].Escapes, "x escapes to heap")
+		}, `p: G: escape "x escapes to heap": 1 -> 0`},
+		{"hot bounds grew", func(i *Inventory) {
+			i.Packages["p"].Funcs["G"].HotBoundsChecks = 5
+		}, `p: G: hot-loop bounds checks 2 -> 5`},
+		{"annotation dropped", func(i *Inventory) {
+			i.Packages["p"].Funcs["G"].HotLoops = 0
+		}, `p: G: hot loops 1 -> 0`},
+		{"new function", func(i *Inventory) {
+			i.Packages["p"].Funcs["H"] = &FuncFacts{Inline: true}
+		}, `p: H: new function, not in budget`},
+	}
+	for _, tc := range cases {
+		got := mk()
+		tc.mutate(got)
+		diffs := diffInventories(mk(), got)
+		if len(diffs) != 1 || diffs[0] != tc.want {
+			t.Errorf("%s: diffs = %v, want [%s]", tc.name, diffs, tc.want)
+		}
+	}
+}
+
+func TestGoMajorMinor(t *testing.T) {
+	for in, want := range map[string]string{
+		"go1.24.0":                "go1.24",
+		"go1.24":                  "go1.24",
+		"go1.23.4":                "go1.23",
+		"devel go1.25-abc123 x/y": "devel go1.25-abc123 x/y", // no prefix match: kept verbatim, never equal to a pinned budget
+	} {
+		if got := goMajorMinor(in); got != want {
+			t.Errorf("goMajorMinor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

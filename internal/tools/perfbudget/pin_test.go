@@ -1,0 +1,134 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// pinnedVersion is the toolchain prefix the committed budget was
+// measured with. Tests that invoke the real compiler skip on any other
+// release: inline costs and escape diagnostics drift across versions,
+// and the CI gate runs on the pinned toolchain only.
+const pinnedVersion = "go1.24"
+
+// measurePinned runs the real compiler over the default hot-path
+// packages, from the module root, skipping when the toolchain is not
+// the pinned release.
+func measurePinned(t *testing.T) *Inventory {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping compiler-driving measurement in -short mode")
+	}
+	v := goMajorMinor(runtime.Version())
+	if v != pinnedVersion {
+		t.Skipf("toolchain %s is not the pinned %s; diagnostics are not comparable", v, pinnedVersion)
+	}
+	// The test binary runs in internal/tools/perfbudget; diagnostics and
+	// go list paths are module-root relative.
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(root)
+	inv, err := measure(DefaultPkgs, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func facts(t *testing.T, inv *Inventory, pkg, fn string) *FuncFacts {
+	t.Helper()
+	p := inv.Packages[pkg]
+	if p == nil {
+		t.Fatalf("package %s not in inventory", pkg)
+	}
+	f := p.Funcs[fn]
+	if f == nil {
+		t.Fatalf("function %s not in %s inventory", fn, pkg)
+	}
+	return f
+}
+
+// TestFastPathPins pins the load-bearing fast paths: the single-compare
+// heap accessors and the allocator bin lookups must stay inlinable and
+// allocation-free, and every //dmm:hotloop annotation must still be
+// attached to its loop. A failure here means an edit silently knocked a
+// fast path off the inliner's budget or grew an escape on the per-event
+// path — fix the code (or, if the cost is deliberate, re-seed the
+// budget AND update this pin).
+func TestFastPathPins(t *testing.T) {
+	inv := measurePinned(t)
+
+	// Simulated heap: the word accessors on the replay inner path.
+	for _, fn := range []string{"(*Heap).U32", "(*Heap).PutU32", "(*Heap).Ptr", "(*Heap).PutPtr"} {
+		f := facts(t, inv, "dmmkit/internal/heap", fn)
+		if !f.Inline {
+			t.Errorf("heap.%s no longer inlines: %s", fn, f.InlineReason)
+		}
+		if len(f.Escapes) != 0 {
+			t.Errorf("heap.%s grew escapes: %v", fn, f.Escapes)
+		}
+	}
+
+	// Kingsley: the size-class lookup and free-list head update.
+	for _, fn := range []string{"classFor", "(*Manager).setFreeHead"} {
+		if f := facts(t, inv, "dmmkit/internal/alloc/kingsley", fn); !f.Inline {
+			t.Errorf("kingsley.%s no longer inlines: %s", fn, f.InlineReason)
+		}
+	}
+
+	// Lea: the bin index computations and bin head updates.
+	for _, fn := range []string{"fastIndex", "smallIndex", "largeIndex",
+		"(*Manager).setFastHead", "(*Manager).setSmallHead", "(*Manager).setLargeHead"} {
+		if f := facts(t, inv, "dmmkit/internal/alloc/lea", fn); !f.Inline {
+			t.Errorf("lea.%s no longer inlines: %s", fn, f.InlineReason)
+		}
+	}
+
+	// Annotated hot loops: the annotation must still be attached (a
+	// refactor that detaches the comment silently unguards the loop),
+	// and the DMMT2 batch-decode loop must stay free of bounds checks —
+	// its indexing is guarded by the n < len(dst) condition alone.
+	hotLoops := map[string]struct {
+		pkg, fn   string
+		maxBounds int
+	}{
+		"NextBatch": {"dmmkit/internal/trace", "(*binarySource2).NextBatch", 0},
+		"runBatch":  {"dmmkit/internal/trace", "runBatch", 2},
+		"runSlice":  {"dmmkit/internal/trace", "runSlice", 1},
+		"bestFit":   {"dmmkit/internal/alloc/lea", "(*Manager).bestFit", 1},
+	}
+	for name, want := range hotLoops {
+		f := facts(t, inv, want.pkg, want.fn)
+		if f.HotLoops != 1 {
+			t.Errorf("%s: hot_loops = %d, want 1 (//dmm:hotloop annotation detached?)", name, f.HotLoops)
+		}
+		if f.HotBoundsChecks > want.maxBounds {
+			t.Errorf("%s: %d bounds checks in hot loop, budget is %d", name, f.HotBoundsChecks, want.maxBounds)
+		}
+	}
+}
+
+// TestBudgetMatchesTree is the gate run as a unit test: a fresh
+// measurement must match the committed perf_budget.json exactly, so
+// `-update` on a clean tree is a no-op. If this fails, either fix the
+// regression it names or deliberately re-seed with
+// `go run ./internal/tools/perfbudget -update` and review the JSON diff.
+func TestBudgetMatchesTree(t *testing.T) {
+	inv := measurePinned(t)
+	want, err := readBudget(DefaultBudget)
+	if err != nil {
+		t.Fatalf("reading committed budget: %v", err)
+	}
+	if want.GoVersion != inv.GoVersion {
+		t.Fatalf("budget pinned to %s, measured with %s", want.GoVersion, inv.GoVersion)
+	}
+	diffs := diffInventories(want, inv)
+	if len(diffs) > 0 {
+		t.Errorf("perf_budget.json drifted (%d differences):\n  %s\nif deliberate: go run ./internal/tools/perfbudget -update",
+			len(diffs), strings.Join(diffs, "\n  "))
+	}
+}

@@ -462,6 +462,7 @@ func (s *binarySource2) NextBatch(dst []Event) (int, error) {
 		return 0, s.err
 	}
 	n := 0
+	//dmm:hotloop
 	for n < len(dst) {
 		ok, err := s.step(&dst[n])
 		if !ok {

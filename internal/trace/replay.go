@@ -211,6 +211,7 @@ func runBatch(ctx context.Context, m mm.Manager, src BatchSource, opts RunOpts) 
 			return res, fmt.Errorf("replay %q on %s: event %d: %w", name, m.Name(), i, err)
 		}
 		n, berr := src.NextBatch(buf)
+		//dmm:hotloop
 		for k := 0; k < n; k++ {
 			e := &buf[k]
 			res.Events++
@@ -267,6 +268,7 @@ func runSlice(ctx context.Context, m mm.Manager, ss *sliceSource, opts RunOpts) 
 	if opts.SampleEvery > 0 {
 		res.Series = make([]Point, 0, len(events)/opts.SampleEvery+1)
 	}
+	//dmm:hotloop
 	for i := range events {
 		if i&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
